@@ -1,0 +1,115 @@
+// ECG patch: the paper's flagship perpetual node, end to end.
+//
+// A chest patch samples a synthetic ECG, detects R-peaks with the in-
+// sensor analytics pipeline, and compares four transmission policies and
+// two radios; then a discrete-event simulation cross-checks the analytic
+// battery-life projection.
+//
+// Run with: go run ./examples/ecgpatch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wiban/internal/bannet"
+	"wiban/internal/compress"
+	"wiban/internal/energy"
+	"wiban/internal/isa"
+	"wiban/internal/radio"
+	"wiban/internal/sensors"
+	"wiban/internal/units"
+)
+
+func main() {
+	fs := 250 * units.Hertz
+	patch := sensors.ECGPatch()
+	batt := energy.Fig3Battery()
+
+	// --- In-sensor analytics on one minute of synthetic ECG -------------
+	gen := sensors.NewECGSynth(fs, 72, 7)
+	sig := gen.Samples(250 * 60)
+	det := isa.NewRPeakDetector(fs)
+	for _, s := range sig {
+		det.Process(s)
+	}
+	fmt.Printf("ISA: detected %d beats in 60 s → %.0f bpm estimate\n",
+		len(det.Peaks()), det.HeartRateBPM())
+
+	// Measured lossless compression on the same minute.
+	raw := sensors.QuantizeBits(sig, 2.0, 12)
+	rice := compress.RiceEncodeAuto(compress.DeltaInt32(raw))
+	riceRatio := compress.Ratio(len(raw)*2, len(rice))
+	fmt.Printf("ISA: delta+Rice compresses 12-bit ECG by %.1fx losslessly\n\n", riceRatio)
+
+	// --- Policy × radio sweep -------------------------------------------
+	policies := []isa.Policy{
+		isa.StreamAll{},
+		isa.Compress{Label: "delta+Rice", MeasuredRatio: riceRatio, Power: 8 * units.Microwatt},
+		isa.EventGated{Label: "R-peak windows", EventsPerSecond: 1.2,
+			Window: 300 * units.Millisecond, Heartbeat: 100, Power: 15 * units.Microwatt},
+		isa.FeatureOnly{Label: "HR only", EventsPerSecond: 1.2, BitsPerEvent: 16,
+			Power: 15 * units.Microwatt},
+	}
+	fmt.Printf("%-28s %-10s %12s %12s %14s %14s\n",
+		"policy", "link rate", "Wi-R power", "Wi-R life", "BLE power", "BLE life")
+	for _, p := range policies {
+		rate := p.OutputRate(patch.DataRate())
+		row := fmt.Sprintf("%-28s %-10v", p.Name(), rate)
+		for _, tr := range []*radio.Transceiver{radio.WiR(), radio.BLE42()} {
+			comm, err := tr.AveragePower(rate, 10)
+			if err != nil {
+				log.Fatal(err)
+			}
+			total := patch.AFEPower + p.ComputePower() + comm
+			row += fmt.Sprintf(" %12v %12v", total, batt.Lifetime(total))
+		}
+		fmt.Println(row)
+	}
+
+	// --- Discrete-event cross-check --------------------------------------
+	fmt.Println("\nsimulating 1 hour (Wi-R vs BLE, raw streaming)...")
+	cfg := bannet.Config{Seed: 11, Nodes: []bannet.NodeConfig{
+		{ID: 1, Name: "wir", Sensor: patch, Policy: isa.StreamAll{}, Radio: radio.WiR(),
+			Battery: batt, PacketBits: 1024, PER: 0.01, MaxRetries: 5},
+		{ID: 2, Name: "ble", Sensor: patch, Policy: isa.StreamAll{}, Radio: radio.BLE42(),
+			Battery: batt, PacketBits: 1024, PER: 0.01, MaxRetries: 5},
+	}}
+	rep, err := bannet.Run(cfg, units.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range rep.Nodes {
+		fmt.Printf("  %-4s: avg %v → projected life %v (perpetual=%v, p50 latency %v)\n",
+			n.Name, n.AvgPower, n.ProjectedLife, n.Perpetual, n.LatencyP50)
+	}
+
+	// The honest crossover: at a bare 3 kbps ECG stream, a duty-cycled BLE
+	// node can scrape past a year on a 1000 mAh cell — but it has no
+	// margin. Shrink the battery to a CR2032 or raise the rate to an
+	// 8-channel EEG and BLE collapses while Wi-R keeps order-of-magnitude
+	// headroom.
+	coin := energy.CR2032()
+	eeg := sensors.EEGHeadband()
+	fmt.Println("\nmargins (battery life):")
+	fmt.Printf("  %-26s %12s %12s\n", "scenario", "Wi-R", "BLE 4.2")
+	for _, sc := range []struct {
+		name string
+		s    *sensors.Sensor
+		b    *energy.Battery
+	}{
+		{"ECG 3 kbps on 1000 mAh", patch, batt},
+		{"ECG 3 kbps on CR2032", patch, coin},
+		{"EEG 32 kbps on 1000 mAh", eeg, batt},
+	} {
+		row := fmt.Sprintf("  %-26s", sc.name)
+		for _, tr := range []*radio.Transceiver{radio.WiR(), radio.BLE42()} {
+			comm, err := tr.AveragePower(sc.s.DataRate(), 10)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row += fmt.Sprintf(" %12v", sc.b.Lifetime(sc.s.AFEPower+comm))
+		}
+		fmt.Println(row)
+	}
+}

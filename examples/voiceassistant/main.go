@@ -1,0 +1,96 @@
+// Voice assistant: an audio-input wearable-AI node (the AI-pin / pendant
+// class the paper's §II-B describes).
+//
+// The node runs a voice-activity detector in-sensor, ADPCM-compresses only
+// the voiced segments, and the keyword-spotting DNN is partitioned between
+// leaf and hub — which, over Wi-R, means it runs entirely on the hub.
+//
+// Run with: go run ./examples/voiceassistant
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wiban/internal/compress"
+	"wiban/internal/energy"
+	"wiban/internal/isa"
+	"wiban/internal/nn"
+	"wiban/internal/partition"
+	"wiban/internal/radio"
+	"wiban/internal/sensors"
+	"wiban/internal/units"
+)
+
+func main() {
+	fs := 16 * units.Kilohertz
+	mic := sensors.MicMono()
+	batt := energy.Fig3Battery()
+
+	// --- Measure the ISA pipeline on 30 s of synthetic speech ------------
+	gen := sensors.NewAudioSynth(fs, 9)
+	vad := isa.NewVAD(fs)
+	var voiced []float64
+	for i := 0; i < 16000*30; i++ {
+		s := gen.Next()
+		if vad.Process(s) {
+			voiced = append(voiced, s)
+		}
+	}
+	speechFrac := vad.SpeechFraction()
+	raw := sensors.Quantize(voiced, 1.0)
+	enc := compress.ADPCMEncode(raw)
+	adpcmRatio := compress.Ratio(len(raw)*2, len(enc))
+	fmt.Printf("ISA: VAD passes %.0f%% of audio; ADPCM compresses voiced segments %.1fx\n",
+		speechFrac*100, adpcmRatio)
+
+	// Combined policy: VAD gating then ADPCM on what remains.
+	gated := isa.EventGated{Label: "VAD", EventsPerSecond: speechFrac / 0.4,
+		Window: 400 * units.Millisecond, Heartbeat: 200, Power: 30 * units.Microwatt}
+	gatedRate := gated.OutputRate(mic.DataRate())
+	linkRate := units.DataRate(float64(gatedRate) / adpcmRatio)
+	fmt.Printf("link rate: raw %v → VAD %v → +ADPCM %v\n\n", mic.DataRate(), gatedRate, linkRate)
+
+	// --- Partition the keyword spotter across links ----------------------
+	kws, err := nn.KWSNet(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("partitioning %s (%d MACs) between leaf MCU and hub NPU:\n",
+		kws.Name, kws.TotalMACs())
+	for _, tr := range []*radio.Transceiver{radio.WiR(), radio.BLE42()} {
+		cuts, err := partition.Evaluate(partition.Config{
+			Model: kws, Leaf: partition.LeafMCU(), Hub: partition.HubSoC(),
+			Link: partition.FromTransceiver(tr), BitsPerElement: 8,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		best, _ := partition.Best(cuts)
+		where := "leaf keeps the whole network (needs a CPU)"
+		if best.Index == 0 {
+			where = "everything offloads to the hub (leaf needs no CPU)"
+		} else if best.Index < kws.NumLayers() {
+			where = fmt.Sprintf("split after layer %d", best.Index)
+		}
+		fmt.Printf("  %-8s: best cut %d/%d — %s; leaf energy %v/inference, latency %v\n",
+			tr.Name, best.Index, kws.NumLayers(), where, best.LeafEnergy, best.Latency)
+	}
+
+	// --- Node power and battery life -------------------------------------
+	fmt.Println()
+	isaPower := gated.ComputePower() + 20*units.Microwatt // VAD + ADPCM
+	for _, tr := range []*radio.Transceiver{radio.WiR(), radio.BLE42()} {
+		comm, err := tr.AveragePower(linkRate, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total := mic.AFEPower + isaPower + comm
+		life := batt.Lifetime(total)
+		fmt.Printf("%-8s: node power %v → battery life %v", tr.Name, total, life)
+		if life >= units.Week {
+			fmt.Print("  (the paper's all-week audio class)")
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,154 @@
+package bannet
+
+import (
+	"math"
+	"testing"
+
+	"wiban/internal/energy"
+	"wiban/internal/isa"
+	"wiban/internal/radio"
+	"wiban/internal/sensors"
+	"wiban/internal/units"
+)
+
+// tinyBattery returns a cell holding only the given joules (usable).
+func tinyBattery(joules float64) *energy.Battery {
+	// mAh = J / (V × 3.6) / usable.
+	return &energy.Battery{
+		Name:           "tiny test cell",
+		CapacityMAh:    joules / (3 * 3.6),
+		Voltage:        3 * units.Volt,
+		UsableFraction: 1.0,
+		ShelfLife:      10 * units.Year,
+	}
+}
+
+func TestBatteryDeathMidRun(t *testing.T) {
+	// A camera node (~35.5 mW) on a 40 J cell dies after ≈ 1127 s.
+	cfg := Config{Seed: 31, Nodes: []NodeConfig{{
+		ID: 1, Name: "cam",
+		Sensor: sensors.CameraQVGA(),
+		Policy: isa.Compress{Label: "MJPEG", MeasuredRatio: 8, Power: 500 * units.Microwatt},
+		Radio:  radio.WiR(), Battery: tinyBattery(40),
+		PacketBits: 16384, PER: 0.01, MaxRetries: 3,
+		DrainBattery: true,
+	}}}
+	rep, err := Run(cfg, units.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := &rep.Nodes[0]
+	if !n.Died {
+		t.Fatalf("camera on a 40 J cell should die within the hour (avg %v)", n.AvgPower)
+	}
+	wantAt := 40 / 35.6e-3 // seconds, first-order
+	if math.Abs(float64(n.DiedAt)-wantAt)/wantAt > 0.15 {
+		t.Errorf("died at %v, want ≈ %.0f s", n.DiedAt, wantAt)
+	}
+	if n.ProjectedLife > n.DiedAt {
+		t.Error("projected life should be capped at the observed death")
+	}
+	// Traffic stops at death: generated packets ≈ rate × lifetime.
+	rate := float64(n.PacketsGenerated) / float64(n.DiedAt)
+	fullRate := float64(1.15e6) / 16384 // ≈ 70 packets/s
+	if math.Abs(rate-fullRate)/fullRate > 0.1 {
+		t.Errorf("generation rate %.1f/s over lifetime, want ≈ %.1f/s", rate, fullRate)
+	}
+	if n.Perpetual {
+		t.Error("a dead node cannot be perpetual")
+	}
+}
+
+func TestDrainModeMatchesExtrapolation(t *testing.T) {
+	// For a node that survives the run, DrainBattery must not change the
+	// energy accounting (within the superframe-quantization of the drain).
+	mk := func(drain bool) Config {
+		return Config{Seed: 32, Nodes: []NodeConfig{{
+			ID: 1, Name: "ecg", Sensor: sensors.ECGPatch(), Policy: isa.StreamAll{},
+			Radio: radio.WiR(), Battery: energy.Fig3Battery(),
+			PacketBits: 1024, PER: 0.01, MaxRetries: 5,
+			DrainBattery: drain,
+		}}}
+	}
+	a, err := Run(mk(false), units.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(mk(true), units.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, nb := &a.Nodes[0], &b.Nodes[0]
+	if nb.Died {
+		t.Fatal("ECG node on 1000 mAh died within an hour")
+	}
+	if na.PacketsDelivered != nb.PacketsDelivered {
+		t.Error("drain mode changed traffic")
+	}
+	ra := float64(na.AvgPower)
+	rb := float64(nb.AvgPower)
+	if math.Abs(ra-rb)/ra > 1e-6 {
+		t.Errorf("drain mode changed books: %v vs %v", na.AvgPower, nb.AvgPower)
+	}
+}
+
+func TestHarvestingDefersDeath(t *testing.T) {
+	// An IMU node (~32 µW) on a 0.05 J cell: dead in ~26 min unharvested;
+	// indoor PV (typ 50 µW ≳ the load) keeps it alive all hour.
+	mk := func(h *energy.Harvester) Config {
+		return Config{Seed: 33, Nodes: []NodeConfig{{
+			ID: 1, Name: "imu", Sensor: sensors.IMU6Axis(), Policy: isa.StreamAll{},
+			Radio: radio.WiR(), Battery: tinyBattery(0.05), Harvester: h,
+			PacketBits: 1024, PER: 0.01, MaxRetries: 3,
+			DrainBattery: true,
+		}}}
+	}
+	bare, err := Run(mk(nil), units.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	harvested, err := Run(mk(energy.IndoorPV()), units.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bare.Nodes[0].Died {
+		t.Fatal("unharvested 0.05 J IMU node should die within the hour")
+	}
+	if harvested.Nodes[0].Died {
+		t.Errorf("indoor-PV IMU node died at %v despite energy-neutral harvest",
+			harvested.Nodes[0].DiedAt)
+	}
+}
+
+func TestDeadNodeStopsConsumingMedium(t *testing.T) {
+	// After one node dies, the other keeps its delivery rate (slots are
+	// static, so this checks the dead node simply vanishes from the air).
+	cfg := Config{Seed: 34, Nodes: []NodeConfig{
+		{
+			ID: 1, Name: "dying", Sensor: sensors.MicMono(),
+			Policy: isa.StreamAll{}, Radio: radio.WiR(), Battery: tinyBattery(0.5),
+			PacketBits: 4096, PER: 0.01, MaxRetries: 3, DrainBattery: true,
+		},
+		{
+			ID: 2, Name: "healthy", Sensor: sensors.ECGPatch(),
+			Policy: isa.StreamAll{}, Radio: radio.WiR(), Battery: energy.Fig3Battery(),
+			PacketBits: 1024, PER: 0.01, MaxRetries: 3,
+		},
+	}}
+	rep, err := Run(cfg, 30*units.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dying := rep.NodeByName("dying")
+	healthy := rep.NodeByName("healthy")
+	if !dying.Died {
+		t.Fatal("mic node on 0.5 J should die")
+	}
+	if healthy.DeliveryRate() < 0.99 {
+		t.Errorf("healthy node delivery %.3f degraded by peer death", healthy.DeliveryRate())
+	}
+	// The dying node's traffic is consistent with its shortened life.
+	if dying.PacketsGenerated == 0 || float64(dying.DiedAt) > 29*60 {
+		t.Errorf("death bookkeeping implausible: died at %v", dying.DiedAt)
+	}
+}

@@ -1,0 +1,45 @@
+package channel
+
+import (
+	"testing"
+
+	"wiban/internal/units"
+)
+
+func BenchmarkEQSGain(b *testing.B) {
+	m := DefaultEQSBody()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += m.GainDB(21 * units.Megahertz)
+	}
+	_ = sink
+}
+
+func BenchmarkEQSLeakageSweep(b *testing.B) {
+	m := DefaultEQSBody()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for d := units.Distance(0); d < units.Meter; d += 10 * units.Centimeter {
+			sink += m.LeakageGainDB(21*units.Megahertz, d)
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkRFPathLoss(b *testing.B) {
+	m := DefaultBLEPath()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += m.GainDB(1.5 * units.Meter)
+	}
+	_ = sink
+}
+
+func BenchmarkMQSCoupling(b *testing.B) {
+	m := DefaultMQSImplant()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += m.GainDB(5 * units.Centimeter)
+	}
+	_ = sink
+}

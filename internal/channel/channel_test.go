@@ -1,0 +1,244 @@
+package channel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wiban/internal/units"
+)
+
+func TestEQSPassbandIsFlat(t *testing.T) {
+	m := DefaultEQSBody()
+	// Across the EQS band (100 kHz .. 30 MHz) the voltage-mode channel must
+	// be flat to within 1 dB — that flatness is what makes broadband EQS-HBC
+	// possible at all.
+	ref := m.GainDB(1 * units.Megahertz)
+	for _, f := range []units.Frequency{
+		100 * units.Kilohertz, 500 * units.Kilohertz, 1 * units.Megahertz,
+		5 * units.Megahertz, 10 * units.Megahertz, 21 * units.Megahertz,
+		30 * units.Megahertz,
+	} {
+		g := m.GainDB(f)
+		if math.Abs(g-ref) > 1.0 {
+			t.Errorf("gain at %v = %.2f dB, deviates from %.2f dB by > 1 dB", f, g, ref)
+		}
+	}
+}
+
+func TestEQSPassbandLossMagnitude(t *testing.T) {
+	// Measured EQS-HBC body channels sit around -50 to -70 dB in voltage
+	// mode (TBME'18). The default parameterization must land in that window.
+	g := DefaultEQSBody().PassbandGainDB()
+	if g > -50 || g < -70 {
+		t.Errorf("passband gain %.1f dB outside the plausible -50..-70 dB window", g)
+	}
+}
+
+func TestEQSHighPassCornerVoltageMode(t *testing.T) {
+	m := DefaultEQSBody()
+	c := m.HighPassCorner()
+	// 10 MΩ against ~6 pF puts the corner at a few kHz: the whole EQS band
+	// (100 kHz+) is usable.
+	if c < 500*units.Hertz || c > 10*units.Kilohertz {
+		t.Errorf("voltage-mode high-pass corner %v, want a few kHz", c)
+	}
+	if !m.InEQSRegime(1 * units.Megahertz) {
+		t.Error("1 MHz should be inside the EQS regime")
+	}
+	if m.InEQSRegime(100 * units.Megahertz) {
+		t.Error("100 MHz should be outside the EQS regime")
+	}
+	if bw := m.UsableBandwidth(); bw < 29*units.Megahertz {
+		t.Errorf("usable bandwidth %v, want ≈ 30 MHz", bw)
+	}
+}
+
+func TestFiftyOhmTerminationKillsEQSBand(t *testing.T) {
+	// The paper's central ablation: the identical body channel terminated
+	// in 50 Ω (the RF-style power match) loses the EQS band. The corner
+	// moves above 30 MHz and the 1 MHz gain drops by tens of dB.
+	v := DefaultEQSBody()
+	r50 := DefaultEQSBody()
+	r50.RLoad = 50 * units.Ohm
+
+	if c := r50.HighPassCorner(); c < 30*units.Megahertz {
+		t.Errorf("50 Ω corner %v, want above the EQS limit", c)
+	}
+	lossAt1M := v.GainDB(1*units.Megahertz) - r50.GainDB(1*units.Megahertz)
+	if lossAt1M < 30 {
+		t.Errorf("50 Ω termination costs only %.1f dB at 1 MHz, want > 30 dB", lossAt1M)
+	}
+	// And the 50 Ω response rises with frequency (high-pass behaviour).
+	if r50.GainDB(10*units.Megahertz) <= r50.GainDB(1*units.Megahertz) {
+		t.Error("50 Ω-terminated channel should rise with frequency below its corner")
+	}
+}
+
+func TestEQSGainMonotoneInGroundPlate(t *testing.T) {
+	// Bigger TX ground plates (hub-class devices) couple better. Gain must
+	// be monotone nondecreasing in CGTx.
+	f := func(a, b uint8) bool {
+		ca := units.Capacitance(float64(a)+1) * units.Picofarad / 4
+		cb := units.Capacitance(float64(b)+1) * units.Picofarad / 4
+		if ca > cb {
+			ca, cb = cb, ca
+		}
+		ma := DefaultEQSBody()
+		ma.CGTx = ca
+		mb := DefaultEQSBody()
+		mb.CGTx = cb
+		return ma.GainDB(1*units.Megahertz) <= mb.GainDB(1*units.Megahertz)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEQSLeakageCollapsesOffBody(t *testing.T) {
+	m := DefaultEQSBody()
+	f := 21 * units.Megahertz
+	on := m.LeakageGainDB(f, 0)
+	at15 := m.LeakageGainDB(f, 15*units.Centimeter)
+	at1m := m.LeakageGainDB(f, 1*units.Meter)
+	if on != m.GainDB(f) {
+		t.Errorf("leakage at d=0 = %.1f dB, want on-body gain %.1f dB", on, m.GainDB(f))
+	}
+	// Das et al.: detectability collapses within ~0.15 m. Expect a visible
+	// tens-of-dB drop at 15 cm, and catastrophic (> 70 dB) loss by 1 m.
+	if drop := on - at15; drop < 30 {
+		t.Errorf("leakage drop at 15 cm = %.1f dB, want > 30 dB", drop)
+	}
+	if drop := on - at1m; drop < 70 {
+		t.Errorf("leakage drop at 1 m = %.1f dB, want > 70 dB", drop)
+	}
+	// 60 dB/decade asymptote: from 1 m to 10 m should lose ≈ 60 dB.
+	slope := m.LeakageGainDB(f, 1*units.Meter) - m.LeakageGainDB(f, 10*units.Meter)
+	if slope < 55 || slope > 62 {
+		t.Errorf("far leakage slope %.1f dB/decade, want ≈ 60", slope)
+	}
+}
+
+func TestEQSLeakageMonotone(t *testing.T) {
+	m := DefaultEQSBody()
+	f := func(a, b uint16) bool {
+		da := units.Distance(a) * units.Millimeter
+		db := units.Distance(b) * units.Millimeter
+		if da > db {
+			da, db = db, da
+		}
+		return m.LeakageGainDB(10*units.Megahertz, da) >=
+			m.LeakageGainDB(10*units.Megahertz, db)-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEQSOnBodyDistanceMild(t *testing.T) {
+	m := DefaultEQSBody()
+	f := 10 * units.Megahertz
+	// Whole-body property: 2 m of body path costs only a few dB.
+	d := m.GainAtDB(f, 0) - m.GainAtDB(f, 2*units.Meter)
+	if d < 0 || d > 6 {
+		t.Errorf("2 m on-body path costs %.1f dB, want 0..6 dB", d)
+	}
+}
+
+func TestEQSDegenerateInputs(t *testing.T) {
+	m := DefaultEQSBody()
+	if g := m.TransferV(0); g != 0 {
+		t.Errorf("transfer at DC = %v, want 0", g)
+	}
+	if g := m.GainDB(0); !math.IsInf(g, -1) {
+		t.Errorf("gain at DC = %v, want -Inf", g)
+	}
+	if c := seriesC(0, 1*units.Picofarad); c != 0 {
+		t.Errorf("seriesC with zero = %v, want 0", c)
+	}
+}
+
+func TestRFFriisKnownPoint(t *testing.T) {
+	m := DefaultBLEPath()
+	// Friis at 2.44 GHz, 1 m: 20·log10(4π·1·2.44e9/c) ≈ 40.2 dB.
+	pl := m.FreeSpacePathLossDB(1 * units.Meter)
+	if math.Abs(pl-40.2) > 0.3 {
+		t.Errorf("FSPL(1 m, 2.44 GHz) = %.2f dB, want ≈ 40.2 dB", pl)
+	}
+	// 20 dB/decade.
+	if d := m.FreeSpacePathLossDB(10*units.Meter) - pl; math.Abs(d-20) > 1e-9 {
+		t.Errorf("Friis slope %.2f dB/decade, want 20", d)
+	}
+}
+
+func TestRFRangeForLossInverse(t *testing.T) {
+	m := DefaultBLEPath()
+	f := func(loss uint8) bool {
+		l := 40 + float64(loss%60)
+		d := m.RangeForLossDB(l)
+		return math.Abs(m.FreeSpacePathLossDB(d)-l) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRFRoomScaleBubble(t *testing.T) {
+	// The paper: BLE radiates 5–10 m away. With a 0 dBm transmitter and a
+	// -90 dBm sniffer, the free-space bubble radius must be far beyond 10 m
+	// (containment is impossible); even a deaf -70 dBm receiver hears 5+ m.
+	m := DefaultBLEPath()
+	if r := m.RangeForLossDB(90); r < 10*units.Meter {
+		t.Errorf("90 dB bubble = %v, want ≥ 10 m", r)
+	}
+	if r := m.RangeForLossDB(70); r < 5*units.Meter {
+		t.Errorf("70 dB bubble = %v, want ≥ 5 m", r)
+	}
+}
+
+func TestRFOnBodyWeakerThanLeakage(t *testing.T) {
+	// Per-meter, the shadowed on-body link is weaker than the unshadowed
+	// path to an eavesdropper — the radiative channel is simultaneously a
+	// bad body channel and a good leak, the paper's security point.
+	m := DefaultBLEPath()
+	if m.GainDB(1*units.Meter) >= m.LeakageGainDB(1*units.Meter) {
+		t.Error("on-body gain should be below eavesdropper gain at equal distance")
+	}
+}
+
+func TestRFNearFieldClamp(t *testing.T) {
+	m := DefaultBLEPath()
+	if m.FreeSpacePathLossDB(0) != m.FreeSpacePathLossDB(m.RefDistance) {
+		t.Error("distances below RefDistance should clamp")
+	}
+}
+
+func TestWavelength(t *testing.T) {
+	m := DefaultBLEPath()
+	wl := m.Wavelength()
+	if math.Abs(float64(wl)-0.1229) > 0.001 {
+		t.Errorf("2.44 GHz wavelength = %v, want ≈ 12.3 cm", wl)
+	}
+}
+
+func TestEQSvsRFSummary(t *testing.T) {
+	// Integration check of the paper's §III-B argument in one place:
+	// at 1 m on-body, EQS (voltage mode, 21 MHz) beats BLE's shadowed
+	// radiative path, *and* EQS leaks less at 5 m than RF does.
+	eqs := DefaultEQSBody()
+	rf := DefaultBLEPath()
+	fc := 21 * units.Megahertz
+
+	eqsOn := eqs.GainAtDB(fc, 1*units.Meter)
+	rfOn := rf.GainDB(1 * units.Meter)
+	if eqsOn <= rfOn {
+		t.Errorf("EQS on-body %.1f dB should beat shadowed RF %.1f dB", eqsOn, rfOn)
+	}
+
+	eqsLeak := eqs.LeakageGainDB(fc, 5*units.Meter)
+	rfLeak := rf.LeakageGainDB(5 * units.Meter)
+	if eqsLeak >= rfLeak-40 {
+		t.Errorf("EQS leak at 5 m (%.1f dB) should be ≥40 dB below RF leak (%.1f dB)",
+			eqsLeak, rfLeak)
+	}
+}

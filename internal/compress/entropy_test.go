@@ -1,0 +1,123 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// entropyBits returns the zeroth-order Shannon entropy of src in bits.
+func entropyBits(src []byte) float64 {
+	if len(src) == 0 {
+		return 0
+	}
+	var freq [256]float64
+	for _, b := range src {
+		freq[b]++
+	}
+	n := float64(len(src))
+	var h float64
+	for _, f := range freq {
+		if f == 0 {
+			continue
+		}
+		p := f / n
+		h -= f * math.Log2(p)
+	}
+	return h
+}
+
+// TestHuffmanWithinEntropyBound checks the fundamental coding bounds on a
+// range of source distributions: the payload may not beat the Shannon
+// entropy, and canonical Huffman must stay within one bit per symbol of
+// it (plus the fixed 256-byte header).
+func TestHuffmanWithinEntropyBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	sources := map[string]func(n int) []byte{
+		"uniform8": func(n int) []byte {
+			s := make([]byte, n)
+			for i := range s {
+				s[i] = byte(rng.Intn(256))
+			}
+			return s
+		},
+		"skewed": func(n int) []byte {
+			s := make([]byte, n)
+			for i := range s {
+				if rng.Float64() < 0.9 {
+					s[i] = 0
+				} else {
+					s[i] = byte(rng.Intn(16))
+				}
+			}
+			return s
+		},
+		"geometric": func(n int) []byte {
+			s := make([]byte, n)
+			for i := range s {
+				v := 0
+				for rng.Float64() < 0.5 && v < 255 {
+					v++
+				}
+				s[i] = byte(v)
+			}
+			return s
+		},
+	}
+	const n = 20000
+	const headerBytes = 256
+	for name, gen := range sources {
+		src := gen(n)
+		enc := HuffmanEncode(src)
+		h := entropyBits(src)
+		payloadBits := float64(len(enc)-headerBytes-2) * 8 // minus header & length varint
+		if payloadBits < h-8 {
+			t.Errorf("%s: coded payload %.0f bits beats entropy %.0f bits — impossible",
+				name, payloadBits, h)
+		}
+		if payloadBits > h+float64(n)+64 {
+			t.Errorf("%s: coded payload %.0f bits exceeds entropy+1b/sym bound %.0f",
+				name, payloadBits, h+float64(n))
+		}
+		dec, err := HuffmanDecode(enc)
+		if err != nil || len(dec) != n {
+			t.Fatalf("%s: round trip failed: %v", name, err)
+		}
+	}
+}
+
+// TestRiceNearOptimalOnGeometric checks Rice coding's design point: on a
+// two-sided geometric source the auto-chosen parameter must land within
+// 15% of the source entropy.
+func TestRiceNearOptimalOnGeometric(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	n := 20000
+	vals := make([]int32, n)
+	for i := range vals {
+		v := int32(0)
+		for rng.Float64() < 0.8 {
+			v++
+		}
+		if rng.Intn(2) == 0 {
+			v = -v
+		}
+		vals[i] = v
+	}
+	enc := RiceEncodeAuto(vals)
+
+	// Entropy of the zigzagged byte-equivalent source.
+	bs := make([]byte, n)
+	for i, v := range vals {
+		u := zigzag(int64(v))
+		if u > 255 {
+			u = 255
+		}
+		bs[i] = byte(u)
+	}
+	h := entropyBits(bs)
+	codedBits := float64(len(enc) * 8)
+	if codedBits > 1.15*h+128 {
+		t.Errorf("Rice coded %.0f bits vs source entropy %.0f bits (>15%% overhead)",
+			codedBits, h)
+	}
+}

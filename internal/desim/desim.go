@@ -1,0 +1,232 @@
+// Package desim is a deterministic discrete-event simulation kernel.
+//
+// It drives the body-area-network simulator (internal/bannet): virtual time
+// advances from event to event, never by wall-clock sleeping, so a month of
+// simulated wearable operation costs only as many events as actually occur.
+//
+// Determinism is a design requirement: the same seed and the same scenario
+// must replay the identical event order, because the benchmark harness
+// compares energy and latency figures across runs. To that end the kernel is
+// single-threaded, ties in the event heap break on a monotone sequence
+// number, and all randomness flows through the seeded RNG the simulator
+// owns.
+package desim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is virtual simulation time in integer nanoseconds. Integer time
+// makes event ordering exact (no float tie ambiguity) while one-nanosecond
+// resolution comfortably resolves a 30 Mbps bit (33 ns).
+type Time int64
+
+// Time unit constants.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+	Hour        Time = 60 * Minute
+	Day         Time = 24 * Hour
+)
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// FromSeconds converts floating-point seconds to a Time, rounding to the
+// nearest nanosecond.
+func FromSeconds(s float64) Time { return Time(s*float64(Second) + 0.5) }
+
+// String renders the time as seconds with full sub-second precision.
+func (t Time) String() string { return fmt.Sprintf("%gs", t.Seconds()) }
+
+// Handler is a scheduled callback. It runs when virtual time reaches the
+// event's timestamp.
+type Handler func()
+
+// event is a pending callback in the priority queue.
+type event struct {
+	at      Time
+	seq     uint64 // tie-breaker: FIFO among same-time events
+	fn      Handler
+	stopped bool
+	index   int // heap index, -1 once popped
+}
+
+// EventID identifies a scheduled event so it can be canceled.
+type EventID struct{ ev *event }
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Simulator owns a virtual clock, an event queue and a deterministic RNG.
+// The zero value is not usable; construct with New.
+type Simulator struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	rng    *rand.Rand
+	events uint64 // executed event count, for stats
+	halted bool
+}
+
+// New returns a simulator whose RNG is seeded with seed.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand exposes the simulator's deterministic random source. All model
+// randomness (packet errors, jitter, harvester variation) must come from
+// here so a run is reproducible from its seed.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Executed reports how many events have run so far.
+func (s *Simulator) Executed() uint64 { return s.events }
+
+// At schedules fn to run at absolute time at. Scheduling in the past
+// panics: it always indicates a model bug, and silently clamping would
+// corrupt causality.
+func (s *Simulator) At(at Time, fn Handler) EventID {
+	if at < s.now {
+		panic(fmt.Sprintf("desim: scheduling at %v before now %v", at, s.now))
+	}
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return EventID{ev}
+}
+
+// After schedules fn to run delay after the current time.
+func (s *Simulator) After(delay Time, fn Handler) EventID {
+	if delay < 0 {
+		panic(fmt.Sprintf("desim: negative delay %v", delay))
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// Cancel prevents a scheduled event from running. Canceling an event that
+// already ran (or was already canceled) is a harmless no-op.
+func (s *Simulator) Cancel(id EventID) {
+	if id.ev != nil {
+		id.ev.stopped = true
+	}
+}
+
+// Every schedules fn to run now+first, then every period thereafter, until
+// the returned stop function is called. fn observes the simulator clock; a
+// period must be positive.
+func (s *Simulator) Every(first, period Time, fn Handler) (stop func()) {
+	if period <= 0 {
+		panic("desim: Every requires a positive period")
+	}
+	stopped := false
+	var tick Handler
+	var id EventID
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped && !s.halted {
+			id = s.After(period, tick)
+		}
+	}
+	id = s.After(first, tick)
+	return func() {
+		stopped = true
+		s.Cancel(id)
+	}
+}
+
+// Halt stops the run loop after the current event returns. Pending events
+// stay queued (Run/RunUntil can be called again to resume).
+func (s *Simulator) Halt() { s.halted = true }
+
+// step executes the earliest pending event. It reports false if the queue
+// is empty.
+func (s *Simulator) step() bool {
+	for s.queue.Len() > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.stopped {
+			continue
+		}
+		s.now = ev.at
+		s.events++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Halt is called, and
+// returns the final virtual time.
+func (s *Simulator) Run() Time {
+	s.halted = false
+	for !s.halted && s.step() {
+	}
+	return s.now
+}
+
+// RunUntil executes events with timestamps ≤ end, then sets the clock to
+// end (if it has not already passed) and returns. Events after end remain
+// queued.
+func (s *Simulator) RunUntil(end Time) Time {
+	s.halted = false
+	for !s.halted {
+		if s.queue.Len() == 0 {
+			break
+		}
+		// Peek at the head without popping.
+		next := s.queue[0]
+		if next.stopped {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if next.at > end {
+			break
+		}
+		s.step()
+	}
+	if s.now < end && !s.halted {
+		s.now = end
+	}
+	return s.now
+}
+
+// Pending reports how many events are queued (including canceled events not
+// yet reaped).
+func (s *Simulator) Pending() int { return s.queue.Len() }

@@ -1,0 +1,240 @@
+package desim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.At(30*Millisecond, func() { order = append(order, 3) })
+	s.At(10*Millisecond, func() { order = append(order, 1) })
+	s.At(20*Millisecond, func() { order = append(order, 2) })
+	end := s.Run()
+	if end != 30*Millisecond {
+		t.Errorf("final time %v, want 30ms", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestFIFOAmongEqualTimes(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.At(Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time events ran out of submission order at %d: %v", i, order[:i+1])
+		}
+	}
+}
+
+func TestAfterAccumulates(t *testing.T) {
+	s := New(1)
+	var times []Time
+	s.After(Second, func() {
+		times = append(times, s.Now())
+		s.After(2*Second, func() { times = append(times, s.Now()) })
+	})
+	s.Run()
+	if len(times) != 2 || times[0] != Second || times[1] != 3*Second {
+		t.Errorf("times = %v, want [1s 3s]", times)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	ran := false
+	id := s.At(Second, func() { ran = true })
+	s.Cancel(id)
+	s.Run()
+	if ran {
+		t.Error("canceled event ran")
+	}
+	// Canceling twice is a no-op.
+	s.Cancel(id)
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New(1)
+	s.At(Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(0, func() {})
+	})
+	s.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	s.After(-1, func() {})
+}
+
+func TestEvery(t *testing.T) {
+	s := New(1)
+	count := 0
+	var stop func()
+	stop = s.Every(0, 10*Millisecond, func() {
+		count++
+		if count == 5 {
+			stop()
+		}
+	})
+	s.Run()
+	if count != 5 {
+		t.Errorf("periodic ran %d times, want 5", count)
+	}
+	if s.Now() != 40*Millisecond {
+		t.Errorf("final time %v, want 40ms", s.Now())
+	}
+}
+
+func TestEveryZeroPeriodPanics(t *testing.T) {
+	s := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("zero period did not panic")
+		}
+	}()
+	s.Every(0, 0, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	var ran []Time
+	for _, at := range []Time{Second, 2 * Second, 3 * Second} {
+		at := at
+		s.At(at, func() { ran = append(ran, at) })
+	}
+	s.RunUntil(2 * Second)
+	if len(ran) != 2 {
+		t.Fatalf("ran %d events, want 2", len(ran))
+	}
+	if s.Now() != 2*Second {
+		t.Errorf("clock %v, want 2s", s.Now())
+	}
+	// Resume to completion.
+	s.Run()
+	if len(ran) != 3 || s.Now() != 3*Second {
+		t.Errorf("after resume ran=%d now=%v", len(ran), s.Now())
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	s := New(1)
+	s.RunUntil(Minute)
+	if s.Now() != Minute {
+		t.Errorf("idle RunUntil left clock at %v, want 1min", s.Now())
+	}
+}
+
+func TestHalt(t *testing.T) {
+	s := New(1)
+	ran2 := false
+	s.At(Second, func() { s.Halt() })
+	s.At(2*Second, func() { ran2 = true })
+	s.Run()
+	if ran2 {
+		t.Error("event after Halt ran")
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", s.Pending())
+	}
+	s.Run()
+	if !ran2 {
+		t.Error("resume after Halt did not run pending event")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func(seed int64) []int64 {
+		s := New(seed)
+		var draws []int64
+		s.Every(0, Millisecond, func() {
+			draws = append(draws, s.Rand().Int63n(1000))
+			if len(draws) >= 50 {
+				s.Halt()
+			}
+		})
+		s.Run()
+		return draws
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical draws")
+	}
+}
+
+// Property: random schedules always execute in nondecreasing time order.
+func TestRandomScheduleOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(seed)
+		var executed []Time
+		n := 200
+		times := make([]Time, n)
+		for i := range times {
+			times[i] = Time(rng.Int63n(int64(Second)))
+			at := times[i]
+			s.At(at, func() { executed = append(executed, at) })
+		}
+		s.Run()
+		if len(executed) != n {
+			return false
+		}
+		if !sort.SliceIsSorted(executed, func(i, j int) bool { return executed[i] < executed[j] }) {
+			return false
+		}
+		return s.Executed() == uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if Second.Seconds() != 1 {
+		t.Errorf("Second.Seconds() = %v", Second.Seconds())
+	}
+	if FromSeconds(1.5) != 1500*Millisecond {
+		t.Errorf("FromSeconds(1.5) = %v", FromSeconds(1.5))
+	}
+	if got := FromSeconds(0.25e-6); got != 250*Nanosecond {
+		t.Errorf("FromSeconds(0.25µs) = %v", got)
+	}
+	if Day != 24*Hour || Hour != 60*Minute {
+		t.Error("time constants inconsistent")
+	}
+}

@@ -1,0 +1,165 @@
+package energy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wiban/internal/units"
+)
+
+// Harvester is an ambient energy source with a min/typ/max power envelope.
+// The paper (§V): "With current energy harvesting modalities, 10−200 µW
+// power harvesting is possible in indoor conditions."
+type Harvester struct {
+	Name string
+	// Min, Typ, Max bracket the harvestable power under the stated
+	// conditions.
+	Min, Typ, Max units.Power
+	// Variability is the relative standard deviation of short-term output
+	// around Typ, used by the stochastic trace generator.
+	Variability float64
+}
+
+// IndoorPV returns an indoor photovoltaic harvester spanning the paper's
+// 10–200 µW indoor envelope (a few cm² of cell at 200–1000 lux).
+func IndoorPV() *Harvester {
+	return &Harvester{
+		Name:        "indoor PV",
+		Min:         10 * units.Microwatt,
+		Typ:         50 * units.Microwatt,
+		Max:         200 * units.Microwatt,
+		Variability: 0.4,
+	}
+}
+
+// BodyTEG returns a wearable thermoelectric harvester (skin-to-air
+// gradient), the steadier but weaker option.
+func BodyTEG() *Harvester {
+	return &Harvester{
+		Name:        "body TEG",
+		Min:         5 * units.Microwatt,
+		Typ:         15 * units.Microwatt,
+		Max:         60 * units.Microwatt,
+		Variability: 0.15,
+	}
+}
+
+// KineticIMU returns a motion harvester: high peaks during activity, zero
+// at rest.
+func Kinetic() *Harvester {
+	return &Harvester{
+		Name:        "kinetic",
+		Min:         0,
+		Typ:         20 * units.Microwatt,
+		Max:         150 * units.Microwatt,
+		Variability: 0.8,
+	}
+}
+
+// Harvesters returns the modeled catalog.
+func Harvesters() []*Harvester { return []*Harvester{IndoorPV(), BodyTEG(), Kinetic()} }
+
+// Sustains reports whether the harvester's typical output covers the load —
+// the paper's energy-neutral ("charging-free") criterion.
+func (h *Harvester) Sustains(load units.Power) bool { return h.Typ >= load }
+
+// WorstCaseSustains applies the same test at the minimum envelope.
+func (h *Harvester) WorstCaseSustains(load units.Power) bool { return h.Min >= load }
+
+// Sample draws one short-term output power from a truncated Gaussian around
+// Typ using the provided RNG (deterministic under a seeded source).
+func (h *Harvester) Sample(rng *rand.Rand) units.Power {
+	p := float64(h.Typ) * (1 + h.Variability*rng.NormFloat64())
+	return units.Power(units.Clamp(p, float64(h.Min), float64(h.Max)))
+}
+
+// String summarizes the harvester.
+func (h *Harvester) String() string {
+	return fmt.Sprintf("%s (%v–%v, typ %v)", h.Name, h.Min, h.Max, h.Typ)
+}
+
+// --- Storage buffer ------------------------------------------------------
+
+// Storage is a capacitor (or tiny rechargeable cell) buffering harvested
+// energy between source and load, operated between VMin and VMax.
+type Storage struct {
+	Capacitance units.Capacitance
+	VMax, VMin  units.Voltage
+	v           units.Voltage
+}
+
+// NewStorage returns a storage buffer charged to vInit (clamped to
+// [VMin, VMax]).
+func NewStorage(c units.Capacitance, vMin, vMax, vInit units.Voltage) *Storage {
+	s := &Storage{Capacitance: c, VMin: vMin, VMax: vMax}
+	s.v = units.Voltage(units.Clamp(float64(vInit), float64(vMin), float64(vMax)))
+	return s
+}
+
+// capEnergy returns ½CV² at voltage v.
+func (s *Storage) capEnergy(v units.Voltage) units.Energy {
+	return units.Energy(0.5 * float64(s.Capacitance) * float64(v) * float64(v))
+}
+
+// Energy returns the usable stored energy above the VMin cutoff.
+func (s *Storage) Energy() units.Energy {
+	e := s.capEnergy(s.v) - s.capEnergy(s.VMin)
+	if e < 0 {
+		return 0
+	}
+	return e
+}
+
+// Capacity returns the maximum usable energy (VMax down to VMin).
+func (s *Storage) Capacity() units.Energy {
+	return s.capEnergy(s.VMax) - s.capEnergy(s.VMin)
+}
+
+// Voltage returns the present buffer voltage.
+func (s *Storage) Voltage() units.Voltage { return s.v }
+
+// Store adds harvested energy, returning the amount actually absorbed
+// (the rest is lost once the buffer saturates at VMax).
+func (s *Storage) Store(e units.Energy) units.Energy {
+	if e <= 0 {
+		return 0
+	}
+	room := s.capEnergy(s.VMax) - s.capEnergy(s.v)
+	if e > room {
+		e = room
+	}
+	s.v = s.voltsAt(s.capEnergy(s.v) + e)
+	return e
+}
+
+// Draw removes energy for the load; it reports false (drawing nothing) if
+// the request would take the buffer below VMin. A relative tolerance
+// absorbs the rounding of the ½CV² ↔ V conversions so that storing and
+// drawing the same amount round-trips.
+func (s *Storage) Draw(e units.Energy) bool {
+	if e <= 0 {
+		return true
+	}
+	tol := units.Energy(1e-12 * float64(s.capEnergy(s.VMax)))
+	if s.Energy()+tol < e {
+		return false
+	}
+	rem := s.capEnergy(s.v) - e
+	if min := s.capEnergy(s.VMin); rem < min {
+		rem = min
+	}
+	s.v = s.voltsAt(rem)
+	return true
+}
+
+// voltsAt inverts ½CV² = e.
+func (s *Storage) voltsAt(e units.Energy) units.Voltage {
+	if e <= 0 {
+		return 0
+	}
+	return units.Voltage(math.Sqrt(2 * float64(e) / float64(s.Capacitance)))
+}
+
+// Full reports whether the buffer is at VMax (within 1 mV).
+func (s *Storage) Full() bool { return s.v >= s.VMax-units.Millivolt }

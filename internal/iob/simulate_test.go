@@ -1,0 +1,106 @@
+package iob
+
+import (
+	"testing"
+
+	"wiban/internal/isa"
+	"wiban/internal/nn"
+	"wiban/internal/sensors"
+	"wiban/internal/units"
+)
+
+func demoNetwork(t *testing.T) *Network {
+	t.Helper()
+	kws, err := nn.KWSNet(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Network{
+		Name: "sim bridge BAN",
+		Hub:  DefaultHub(),
+		Nodes: []*NodeDesign{
+			HumanInspiredNode("ecg", sensors.ECGPatch(), nil, nil),
+			HumanInspiredNode("mic", sensors.MicMono(),
+				isa.Compress{Label: "ADPCM", MeasuredRatio: 4, Power: 20 * units.Microwatt},
+				&Workload{Model: kws, PerSecond: 2}),
+		},
+	}
+}
+
+func TestNetworkSimulateEndToEnd(t *testing.T) {
+	net := demoNetwork(t)
+	rep, err := net.Simulate(SimOptions{Seed: 3}, 10*units.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Nodes) != 2 {
+		t.Fatalf("nodes in report: %d", len(rep.Nodes))
+	}
+	ecg := rep.NodeByName("ecg")
+	mic := rep.NodeByName("mic")
+	if ecg.DeliveryRate() < 0.99 || mic.DeliveryRate() < 0.99 {
+		t.Error("physical-PER links should deliver ≈ 100% with ARQ")
+	}
+	if !ecg.Perpetual {
+		t.Errorf("ECG node should be perpetual (life %v)", ecg.ProjectedLife)
+	}
+	// The mic's workload became a hub inference stream.
+	if mic.Inferences == 0 {
+		t.Error("offloaded workload produced no inferences")
+	}
+	if rep.HubComputeEnergy <= 0 {
+		t.Error("hub compute energy missing")
+	}
+}
+
+func TestToSimConfigDerivesPER(t *testing.T) {
+	net := demoNetwork(t)
+	cfg, err := net.ToSimConfig(SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nc := range cfg.Nodes {
+		if nc.PER <= 0 || nc.PER >= 0.05 {
+			t.Errorf("%s: derived PER %g outside the plausible (0, 0.05) window", nc.Name, nc.PER)
+		}
+	}
+	// A longer body path worsens PER monotonically.
+	far, err := net.ToSimConfig(SimOptions{BodyPath: 2 * units.Meter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfg.Nodes {
+		if far.Nodes[i].PER < cfg.Nodes[i].PER {
+			t.Errorf("%s: PER improved with distance", cfg.Nodes[i].Name)
+		}
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	bad := &Network{Name: "bad", Nodes: []*NodeDesign{{Name: "x"}}}
+	if _, err := bad.ToSimConfig(SimOptions{}); err == nil {
+		t.Error("incomplete node should fail lowering")
+	}
+}
+
+func TestSimulateAgreesWithBreakdown(t *testing.T) {
+	// The simulator's measured average power must agree with the analytic
+	// breakdown within 3× (the sim resolves framing overheads and beacon
+	// costs the closed form folds into its wake-rate estimate).
+	net := demoNetwork(t)
+	rep, err := net.Simulate(SimOptions{Seed: 5}, 10*units.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range net.Nodes {
+		b, err := d.AverageBreakdown()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := rep.NodeByName(d.Name)
+		ratio := float64(sim.AvgPower) / float64(b.Total())
+		if ratio < 1.0/3 || ratio > 3 {
+			t.Errorf("%s: sim %v vs analytic %v (ratio %.2f)", d.Name, sim.AvgPower, b.Total(), ratio)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package isa
+
+import (
+	"fmt"
+
+	"wiban/internal/units"
+)
+
+// Transmission policies: how a leaf node converts its sensor stream plus
+// ISA decisions into an average link rate. The paper's architectural claim
+// is that ISA ("as appropriate") plus ULP communication lets the same
+// information reach the hub at a fraction of the raw stream's cost; these
+// policies quantify the reduction factor.
+
+// Policy maps a raw sensor rate to the average transmitted rate.
+type Policy interface {
+	// OutputRate returns the average link rate for a given raw rate.
+	OutputRate(raw units.DataRate) units.DataRate
+	// ComputePower returns the leaf-side processing power the policy
+	// costs (the ISA block of Fig. 1).
+	ComputePower() units.Power
+	// Name identifies the policy in tables.
+	Name() string
+}
+
+// StreamAll transmits the raw stream unchanged (the policy of a dumb
+// sensor node).
+type StreamAll struct{}
+
+// OutputRate returns the raw rate unchanged.
+func (StreamAll) OutputRate(raw units.DataRate) units.DataRate { return raw }
+
+// ComputePower is zero: no local processing.
+func (StreamAll) ComputePower() units.Power { return 0 }
+
+// Name identifies the policy.
+func (StreamAll) Name() string { return "stream-raw" }
+
+// Compress transmits the stream after a codec with the given measured
+// ratio, costing some ISA power.
+type Compress struct {
+	// Label names the codec ("MJPEG q50", "delta+Rice").
+	Label string
+	// MeasuredRatio is the compression ratio (original/compressed).
+	MeasuredRatio float64
+	// Power is the codec's processing power on the leaf node.
+	Power units.Power
+}
+
+// OutputRate divides the raw rate by the measured ratio.
+func (c Compress) OutputRate(raw units.DataRate) units.DataRate {
+	if c.MeasuredRatio <= 1 {
+		return raw
+	}
+	return units.DataRate(float64(raw) / c.MeasuredRatio)
+}
+
+// ComputePower returns the codec power.
+func (c Compress) ComputePower() units.Power { return c.Power }
+
+// Name identifies the policy.
+func (c Compress) Name() string { return fmt.Sprintf("compress(%s)", c.Label) }
+
+// EventGated transmits only windows of signal around detected events plus
+// a low-rate heartbeat so the hub knows the node is alive.
+type EventGated struct {
+	// Label names the detector ("R-peak", "VAD").
+	Label string
+	// EventsPerSecond is the long-run detector firing rate.
+	EventsPerSecond float64
+	// Window is the signal span transmitted per event.
+	Window units.Duration
+	// Heartbeat is the constant keep-alive rate.
+	Heartbeat units.DataRate
+	// Power is the detector's processing power.
+	Power units.Power
+}
+
+// OutputRate is the duty-cycled raw rate plus heartbeat, capped at the raw
+// rate (gating can never exceed streaming).
+func (g EventGated) OutputRate(raw units.DataRate) units.DataRate {
+	duty := g.EventsPerSecond * float64(g.Window)
+	if duty > 1 {
+		duty = 1
+	}
+	out := units.DataRate(duty*float64(raw)) + g.Heartbeat
+	if out > raw {
+		return raw
+	}
+	return out
+}
+
+// ComputePower returns the detector power.
+func (g EventGated) ComputePower() units.Power { return g.Power }
+
+// Name identifies the policy.
+func (g EventGated) Name() string { return fmt.Sprintf("event-gated(%s)", g.Label) }
+
+// FeatureOnly transmits only a fixed-size feature vector per event (e.g.
+// heart rate per beat, band energies per audio frame) — the extreme ISA
+// point where the raw stream never leaves the node.
+type FeatureOnly struct {
+	// Label names the feature ("HR", "log-mel").
+	Label string
+	// EventsPerSecond is the feature emission rate.
+	EventsPerSecond float64
+	// BitsPerEvent is the feature payload size.
+	BitsPerEvent int
+	// Power is the extractor's processing power.
+	Power units.Power
+}
+
+// OutputRate is events × feature size, independent of the raw rate.
+func (f FeatureOnly) OutputRate(raw units.DataRate) units.DataRate {
+	out := units.DataRate(f.EventsPerSecond * float64(f.BitsPerEvent))
+	if out > raw {
+		return raw
+	}
+	return out
+}
+
+// ComputePower returns the extractor power.
+func (f FeatureOnly) ComputePower() units.Power { return f.Power }
+
+// Name identifies the policy.
+func (f FeatureOnly) Name() string { return fmt.Sprintf("feature-only(%s)", f.Label) }
+
+// ReductionFactor reports raw/output for a policy at a given raw rate.
+func ReductionFactor(p Policy, raw units.DataRate) float64 {
+	out := p.OutputRate(raw)
+	if out <= 0 {
+		return 0
+	}
+	return float64(raw) / float64(out)
+}

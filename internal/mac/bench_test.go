@@ -1,0 +1,24 @@
+package mac
+
+import (
+	"testing"
+
+	"wiban/internal/units"
+)
+
+func BenchmarkTDMABuild(b *testing.B) {
+	var demands []Demand
+	for i := 0; i < 16; i++ {
+		demands = append(demands, Demand{NodeID: i, Rate: 64 * units.Kbps, PacketBits: 8192})
+	}
+	tdma := DefaultTDMA()
+	for i := 0; i < b.N; i++ {
+		s, err := tdma.Build(demands)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

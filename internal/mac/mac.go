@@ -1,0 +1,214 @@
+// Package mac provides medium-access control for the body-area network:
+// the Wi-R bus is a single shared medium (the body), so the hub
+// coordinates leaf nodes with a TDMA superframe — beacon, then one
+// guard-separated slot per node sized to its demand. Polling and slotted
+// CSMA analytic models are included as baselines for the arbitration
+// ablation.
+package mac
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"wiban/internal/units"
+)
+
+// Demand is one node's reservation request.
+type Demand struct {
+	// NodeID identifies the node (unique within a schedule).
+	NodeID int
+	// Rate is the average application rate the node must sustain.
+	Rate units.DataRate
+	// PacketBits is the node's framing quantum (a slot is sized to a
+	// whole number of packets).
+	PacketBits int
+}
+
+// TDMA describes the superframe parameters.
+type TDMA struct {
+	// Superframe is the schedule period.
+	Superframe units.Duration
+	// LinkRate is the shared medium's signaling rate.
+	LinkRate units.DataRate
+	// BeaconBits is the hub's per-superframe beacon (sync + schedule).
+	BeaconBits int
+	// Guard separates adjacent slots (clock tolerance).
+	Guard units.Duration
+}
+
+// DefaultTDMA returns a 100 ms superframe on a Wi-R-class 4 Mbps medium
+// with 256-bit beacons and 100 µs guards.
+func DefaultTDMA() *TDMA {
+	return &TDMA{
+		Superframe: 100 * units.Millisecond,
+		LinkRate:   4 * units.Mbps,
+		BeaconBits: 256,
+		Guard:      100 * units.Microsecond,
+	}
+}
+
+// Slot is one node's transmission window within the superframe.
+type Slot struct {
+	NodeID int
+	Start  units.Duration
+	Length units.Duration
+	// CapacityBits is how many bits fit in the slot at the link rate.
+	CapacityBits int64
+}
+
+// Schedule is a built superframe.
+type Schedule struct {
+	Superframe units.Duration
+	BeaconTime units.Duration
+	Slots      []Slot
+	LinkRate   units.DataRate
+}
+
+// Build sizes one slot per demand and lays them out after the beacon.
+// Demands are laid out in NodeID order for determinism. It returns an
+// error if the demands do not fit the superframe.
+func (t *TDMA) Build(demands []Demand) (*Schedule, error) {
+	if t.Superframe <= 0 || t.LinkRate <= 0 {
+		return nil, fmt.Errorf("mac: invalid TDMA parameters")
+	}
+	sorted := append([]Demand(nil), demands...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].NodeID < sorted[j].NodeID })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].NodeID == sorted[i-1].NodeID {
+			return nil, fmt.Errorf("mac: duplicate node id %d", sorted[i].NodeID)
+		}
+	}
+
+	s := &Schedule{
+		Superframe: t.Superframe,
+		BeaconTime: t.LinkRate.TimeFor(float64(t.BeaconBits)),
+		LinkRate:   t.LinkRate,
+	}
+	cursor := s.BeaconTime + t.Guard
+	for _, d := range sorted {
+		if d.Rate < 0 || d.PacketBits <= 0 {
+			return nil, fmt.Errorf("mac: invalid demand for node %d", d.NodeID)
+		}
+		// Bits owed per superframe, rounded up to whole packets.
+		bits := float64(d.Rate) * float64(t.Superframe)
+		packets := int64(math.Ceil(bits / float64(d.PacketBits)))
+		if packets < 1 {
+			packets = 1
+		}
+		capBits := packets * int64(d.PacketBits)
+		length := t.LinkRate.TimeFor(float64(capBits))
+		s.Slots = append(s.Slots, Slot{
+			NodeID: d.NodeID, Start: cursor, Length: length, CapacityBits: capBits,
+		})
+		cursor += length + t.Guard
+	}
+	if cursor > t.Superframe {
+		return nil, fmt.Errorf("mac: demands need %v, superframe is %v", cursor, t.Superframe)
+	}
+	return s, nil
+}
+
+// Validate checks slot disjointness and containment — the invariant the
+// property tests hammer.
+func (s *Schedule) Validate() error {
+	for i, sl := range s.Slots {
+		if sl.Start < s.BeaconTime {
+			return fmt.Errorf("mac: slot %d overlaps beacon", i)
+		}
+		if sl.Start+sl.Length > s.Superframe {
+			return fmt.Errorf("mac: slot %d exceeds superframe", i)
+		}
+		for j := i + 1; j < len(s.Slots); j++ {
+			a, b := s.Slots[i], s.Slots[j]
+			if a.Start < b.Start+b.Length && b.Start < a.Start+a.Length {
+				return fmt.Errorf("mac: slots %d and %d overlap", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// SlotFor returns the slot assigned to a node, or nil.
+func (s *Schedule) SlotFor(nodeID int) *Slot {
+	for i := range s.Slots {
+		if s.Slots[i].NodeID == nodeID {
+			return &s.Slots[i]
+		}
+	}
+	return nil
+}
+
+// Utilization is the fraction of the superframe spent moving payload.
+func (s *Schedule) Utilization() float64 {
+	var busy units.Duration
+	for _, sl := range s.Slots {
+		busy += sl.Length
+	}
+	return float64(busy) / float64(s.Superframe)
+}
+
+// SyncOverheadRate is the per-node cost of staying synchronized: every
+// superframe each node wakes once to hear the beacon. The result is the
+// wake rate (per second) a node's radio model should be charged.
+func (s *Schedule) SyncOverheadRate() float64 {
+	if s.Superframe <= 0 {
+		return 0
+	}
+	return 1 / float64(s.Superframe)
+}
+
+// --- Baseline arbitration models -------------------------------------------
+
+// Polling models hub-initiated polling: each transfer costs a poll request
+// and a turnaround before the node's payload.
+type Polling struct {
+	PollBits   int
+	Turnaround units.Duration
+	LinkRate   units.DataRate
+}
+
+// Efficiency returns the payload fraction of the medium time for a given
+// payload size per poll.
+func (p *Polling) Efficiency(payloadBits int) float64 {
+	if payloadBits <= 0 {
+		return 0
+	}
+	payload := p.LinkRate.TimeFor(float64(payloadBits))
+	total := p.LinkRate.TimeFor(float64(p.PollBits)) + 2*p.Turnaround + payload
+	return float64(payload) / float64(total)
+}
+
+// SlottedCSMA models p-persistent slotted contention among n nodes.
+type SlottedCSMA struct{}
+
+// SuccessProbability is the per-slot success probability with n
+// contenders each transmitting with probability p: n·p·(1−p)^(n−1).
+func (SlottedCSMA) SuccessProbability(n int, p float64) float64 {
+	if n <= 0 || p <= 0 || p > 1 {
+		return 0
+	}
+	return float64(n) * p * math.Pow(1-p, float64(n-1))
+}
+
+// OptimalP returns the throughput-maximizing persistence, 1/n.
+func (SlottedCSMA) OptimalP(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return 1 / float64(n)
+}
+
+// EnergyPenalty is the expected transmissions per delivered packet at the
+// given persistence (collisions burn energy without delivering).
+func (c SlottedCSMA) EnergyPenalty(n int, p float64) float64 {
+	if n <= 0 || p <= 0 {
+		return math.Inf(1)
+	}
+	// A tagged node's attempt succeeds if no other node transmits.
+	succ := math.Pow(1-p, float64(n-1))
+	if succ == 0 {
+		return math.Inf(1)
+	}
+	return 1 / succ
+}

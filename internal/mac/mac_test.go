@@ -1,0 +1,209 @@
+package mac
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wiban/internal/units"
+)
+
+func demoDemands() []Demand {
+	return []Demand{
+		{NodeID: 1, Rate: 3 * units.Kbps, PacketBits: 1024},    // ECG patch
+		{NodeID: 2, Rate: 9.6 * units.Kbps, PacketBits: 1024},  // IMU
+		{NodeID: 3, Rate: 256 * units.Kbps, PacketBits: 8192},  // voice mic
+		{NodeID: 4, Rate: 1.5 * units.Mbps, PacketBits: 16384}, // MJPEG video
+	}
+}
+
+func TestBuildValidSchedule(t *testing.T) {
+	s, err := DefaultTDMA().Build(demoDemands())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Slots) != 4 {
+		t.Fatalf("slot count %d", len(s.Slots))
+	}
+	// Every node can be found and capacity covers demand per superframe.
+	for _, d := range demoDemands() {
+		sl := s.SlotFor(d.NodeID)
+		if sl == nil {
+			t.Fatalf("no slot for node %d", d.NodeID)
+		}
+		need := float64(d.Rate) * float64(s.Superframe)
+		if float64(sl.CapacityBits) < need {
+			t.Errorf("node %d: capacity %d bits < demand %.0f bits", d.NodeID, sl.CapacityBits, need)
+		}
+	}
+	if s.SlotFor(99) != nil {
+		t.Error("unknown node should have no slot")
+	}
+}
+
+func TestScheduleRejectsOverload(t *testing.T) {
+	// A 4 Mbps medium cannot carry 2×3 Mbps.
+	over := []Demand{
+		{NodeID: 1, Rate: 3 * units.Mbps, PacketBits: 16384},
+		{NodeID: 2, Rate: 3 * units.Mbps, PacketBits: 16384},
+	}
+	if _, err := DefaultTDMA().Build(over); err == nil {
+		t.Error("overloaded schedule should fail")
+	}
+}
+
+func TestScheduleRejectsBadInput(t *testing.T) {
+	tdma := DefaultTDMA()
+	if _, err := tdma.Build([]Demand{{NodeID: 1, Rate: units.Kbps, PacketBits: 0}}); err == nil {
+		t.Error("zero packet size should fail")
+	}
+	if _, err := tdma.Build([]Demand{
+		{NodeID: 1, Rate: units.Kbps, PacketBits: 128},
+		{NodeID: 1, Rate: units.Kbps, PacketBits: 128},
+	}); err == nil {
+		t.Error("duplicate node id should fail")
+	}
+	bad := &TDMA{}
+	if _, err := bad.Build(nil); err == nil {
+		t.Error("zero-parameter TDMA should fail")
+	}
+}
+
+func TestEmptyScheduleIsValid(t *testing.T) {
+	s, err := DefaultTDMA().Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+	if s.Utilization() != 0 {
+		t.Error("empty schedule should have zero utilization")
+	}
+}
+
+func TestScheduleProperty(t *testing.T) {
+	// Any demand set the builder accepts must validate, cover demand, and
+	// keep utilization ≤ 1.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(8) + 1
+		var ds []Demand
+		for i := 0; i < n; i++ {
+			ds = append(ds, Demand{
+				NodeID:     i,
+				Rate:       units.DataRate(rng.Intn(400_000) + 100),
+				PacketBits: (rng.Intn(64) + 1) * 128,
+			})
+		}
+		s, err := DefaultTDMA().Build(ds)
+		if err != nil {
+			return true // rejection is allowed; acceptance must be sound
+		}
+		if s.Validate() != nil {
+			return false
+		}
+		if s.Utilization() > 1 {
+			return false
+		}
+		for _, d := range ds {
+			sl := s.SlotFor(d.NodeID)
+			if sl == nil || float64(sl.CapacityBits) < float64(d.Rate)*float64(s.Superframe) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlotsOrderedByNodeID(t *testing.T) {
+	// Determinism: shuffled input produces the same layout.
+	ds := demoDemands()
+	shuffled := []Demand{ds[3], ds[1], ds[0], ds[2]}
+	a, err1 := DefaultTDMA().Build(ds)
+	b, err2 := DefaultTDMA().Build(shuffled)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	for i := range a.Slots {
+		if a.Slots[i] != b.Slots[i] {
+			t.Fatal("schedule depends on input order")
+		}
+	}
+}
+
+func TestSyncOverheadRate(t *testing.T) {
+	s, _ := DefaultTDMA().Build(demoDemands())
+	if got := s.SyncOverheadRate(); math.Abs(got-10) > 1e-9 {
+		t.Errorf("sync rate %v, want 10/s for 100 ms superframe", got)
+	}
+	empty := &Schedule{}
+	if empty.SyncOverheadRate() != 0 {
+		t.Error("zero superframe should report 0")
+	}
+}
+
+func TestUtilizationScalesWithDemand(t *testing.T) {
+	light, _ := DefaultTDMA().Build(demoDemands()[:2])
+	heavy, _ := DefaultTDMA().Build(demoDemands())
+	if light.Utilization() >= heavy.Utilization() {
+		t.Error("more demand should raise utilization")
+	}
+}
+
+func TestPollingEfficiency(t *testing.T) {
+	p := &Polling{PollBits: 64, Turnaround: 50 * units.Microsecond, LinkRate: 4 * units.Mbps}
+	small := p.Efficiency(256)
+	large := p.Efficiency(16384)
+	if small >= large {
+		t.Error("bigger payloads should amortize polling better")
+	}
+	if large < 0.9 {
+		t.Errorf("large-payload polling efficiency %.2f, want ≥ 0.9", large)
+	}
+	if p.Efficiency(0) != 0 {
+		t.Error("zero payload should be zero efficiency")
+	}
+}
+
+func TestCSMAOptimalP(t *testing.T) {
+	c := SlottedCSMA{}
+	for _, n := range []int{2, 5, 10} {
+		popt := c.OptimalP(n)
+		sOpt := c.SuccessProbability(n, popt)
+		// Perturbing p in either direction must not improve throughput.
+		if c.SuccessProbability(n, popt*1.3) > sOpt+1e-12 ||
+			c.SuccessProbability(n, popt*0.7) > sOpt+1e-12 {
+			t.Errorf("n=%d: p=1/n is not optimal", n)
+		}
+	}
+	// Asymptotic 1/e efficiency for large n.
+	if s := c.SuccessProbability(50, c.OptimalP(50)); math.Abs(s-1/math.E) > 0.02 {
+		t.Errorf("large-n slotted throughput %.3f, want ≈ 1/e", s)
+	}
+}
+
+func TestCSMAEnergyPenalty(t *testing.T) {
+	c := SlottedCSMA{}
+	// TDMA has penalty 1 by construction; contention always pays more.
+	if p := c.EnergyPenalty(5, 0.2); p <= 1 {
+		t.Errorf("contention penalty %.2f, want > 1", p)
+	}
+	// More contenders at fixed p cost more.
+	if c.EnergyPenalty(10, 0.2) <= c.EnergyPenalty(3, 0.2) {
+		t.Error("penalty should grow with contenders")
+	}
+	if !math.IsInf(c.EnergyPenalty(0, 0.5), 1) {
+		t.Error("degenerate penalty should be +Inf")
+	}
+	if c.SuccessProbability(0, 0.5) != 0 || c.SuccessProbability(5, 0) != 0 {
+		t.Error("degenerate success probabilities should be 0")
+	}
+}

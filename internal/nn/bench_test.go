@@ -1,0 +1,85 @@
+package nn
+
+import "testing"
+
+func BenchmarkConv2DStem(b *testing.B) {
+	// The KWS stem conv: 10×4×1→64 stride 2 over 49×10.
+	r := newRNG(1)
+	c := NewConv2D(10, 4, 1, 64, 2, true, r)
+	x := NewTensor(49, 10, 1)
+	for i := range x.Data {
+		x.Data[i] = float32(i%11) - 5
+	}
+	p, _ := c.Profile(x.Shape)
+	b.ReportMetric(float64(p.MACs), "MACs/op")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Forward(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDense(b *testing.B) {
+	r := newRNG(2)
+	d := NewDense(1536, 64, r)
+	x := NewTensor(1536)
+	for i := range x.Data {
+		x.Data[i] = float32(i%7) - 3
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Forward(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuantDense(b *testing.B) {
+	r := newRNG(3)
+	d := NewDense(1536, 64, r)
+	qd := QuantizeDense(d)
+	x := NewTensor(1536)
+	for i := range x.Data {
+		x.Data[i] = float32(i%7) - 3
+	}
+	qx := QuantizeTensor(x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qd.Forward(qx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVisionForward(b *testing.B) {
+	m, err := VisionNet(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := NewTensor(96, 96, 1)
+	for i := range x.Data {
+		x.Data[i] = float32(i%13)/13 - 0.5
+	}
+	b.ReportMetric(float64(m.TotalMACs()), "MACs/op")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Forward(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMLPTrainEpoch(b *testing.B) {
+	xs, ys := synthClusters(5, 200, 8, 4)
+	m, err := NewMLP(7, 8, 16, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.TrainEpoch(xs, ys, 0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

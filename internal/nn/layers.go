@@ -1,0 +1,576 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Profile is the static cost of one layer for a given input shape — the
+// currency of the split-computing partitioner.
+type Profile struct {
+	// MACs is the multiply-accumulate count of one forward pass.
+	MACs int64
+	// Params is the weight count (transmitted once, stored on-device).
+	Params int64
+	// OutElems is the activation element count at the layer output — the
+	// data volume a network split at this point must communicate.
+	OutElems int64
+}
+
+// Layer is one feed-forward stage.
+type Layer interface {
+	// Name identifies the layer in profiles and tables.
+	Name() string
+	// OutShape returns the output shape for an input shape.
+	OutShape(in []int) ([]int, error)
+	// Forward computes the layer output.
+	Forward(x *Tensor) (*Tensor, error)
+	// Profile returns the layer cost for an input shape.
+	Profile(in []int) (Profile, error)
+}
+
+// --- Dense -------------------------------------------------------------------
+
+// Dense is a fully connected layer y = Wx + b.
+type Dense struct {
+	In, Out int
+	W       []float32 // [Out][In] row-major
+	B       []float32 // [Out]
+	label   string
+}
+
+// NewDense returns a He-initialized fully connected layer.
+func NewDense(in, out int, r *rng) *Dense {
+	d := &Dense{In: in, Out: out, W: make([]float32, in*out), B: make([]float32, out)}
+	heInit(d.W, in, r)
+	d.label = fmt.Sprintf("dense %d→%d", in, out)
+	return d
+}
+
+// Name identifies the layer.
+func (d *Dense) Name() string { return d.label }
+
+// OutShape validates the flat input size.
+func (d *Dense) OutShape(in []int) ([]int, error) {
+	n := 1
+	for _, v := range in {
+		n *= v
+	}
+	if n != d.In {
+		return nil, fmt.Errorf("nn: dense expects %d inputs, got shape %v", d.In, in)
+	}
+	return []int{d.Out}, nil
+}
+
+// Forward computes Wx + b over the flattened input.
+func (d *Dense) Forward(x *Tensor) (*Tensor, error) {
+	if x.Elems() != d.In {
+		return nil, fmt.Errorf("nn: dense input %d, want %d", x.Elems(), d.In)
+	}
+	out := NewTensor(d.Out)
+	for o := 0; o < d.Out; o++ {
+		sum := d.B[o]
+		row := d.W[o*d.In : (o+1)*d.In]
+		for i, v := range x.Data {
+			sum += row[i] * v
+		}
+		out.Data[o] = sum
+	}
+	return out, nil
+}
+
+// Profile counts In×Out MACs.
+func (d *Dense) Profile(in []int) (Profile, error) {
+	if _, err := d.OutShape(in); err != nil {
+		return Profile{}, err
+	}
+	return Profile{
+		MACs:     int64(d.In) * int64(d.Out),
+		Params:   int64(d.In)*int64(d.Out) + int64(d.Out),
+		OutElems: int64(d.Out),
+	}, nil
+}
+
+// --- Conv2D -------------------------------------------------------------------
+
+// Conv2D is a standard 2-D convolution over [H,W,C] inputs with "same" or
+// "valid" padding.
+type Conv2D struct {
+	KH, KW, CIn, COut int
+	Stride            int
+	SamePad           bool
+	W                 []float32 // [COut][KH][KW][CIn]
+	B                 []float32
+	label             string
+}
+
+// NewConv2D returns a He-initialized convolution.
+func NewConv2D(kh, kw, cin, cout, stride int, samePad bool, r *rng) *Conv2D {
+	c := &Conv2D{
+		KH: kh, KW: kw, CIn: cin, COut: cout, Stride: stride, SamePad: samePad,
+		W: make([]float32, cout*kh*kw*cin), B: make([]float32, cout),
+	}
+	heInit(c.W, kh*kw*cin, r)
+	c.label = fmt.Sprintf("conv %dx%dx%d→%d s%d", kh, kw, cin, cout, stride)
+	return c
+}
+
+// Name identifies the layer.
+func (c *Conv2D) Name() string { return c.label }
+
+// pads returns top/left padding.
+func (c *Conv2D) pads() (int, int) {
+	if !c.SamePad {
+		return 0, 0
+	}
+	return (c.KH - 1) / 2, (c.KW - 1) / 2
+}
+
+// OutShape computes the output spatial dims.
+func (c *Conv2D) OutShape(in []int) ([]int, error) {
+	if len(in) != 3 || in[2] != c.CIn {
+		return nil, fmt.Errorf("nn: conv expects [H,W,%d], got %v", c.CIn, in)
+	}
+	ph, pw := c.pads()
+	oh := (in[0]+2*ph-c.KH)/c.Stride + 1
+	ow := (in[1]+2*pw-c.KW)/c.Stride + 1
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("nn: conv output empty for input %v", in)
+	}
+	return []int{oh, ow, c.COut}, nil
+}
+
+// Forward computes the convolution directly.
+func (c *Conv2D) Forward(x *Tensor) (*Tensor, error) {
+	os, err := c.OutShape(x.Shape)
+	if err != nil {
+		return nil, err
+	}
+	h, w := x.Shape[0], x.Shape[1]
+	ph, pw := c.pads()
+	out := NewTensor(os...)
+	for oy := 0; oy < os[0]; oy++ {
+		for ox := 0; ox < os[1]; ox++ {
+			for oc := 0; oc < c.COut; oc++ {
+				sum := c.B[oc]
+				wBase := oc * c.KH * c.KW * c.CIn
+				for ky := 0; ky < c.KH; ky++ {
+					sy := oy*c.Stride + ky - ph
+					if sy < 0 || sy >= h {
+						continue
+					}
+					for kx := 0; kx < c.KW; kx++ {
+						sx := ox*c.Stride + kx - pw
+						if sx < 0 || sx >= w {
+							continue
+						}
+						xBase := (sy*w + sx) * c.CIn
+						wOff := wBase + (ky*c.KW+kx)*c.CIn
+						for ci := 0; ci < c.CIn; ci++ {
+							sum += c.W[wOff+ci] * x.Data[xBase+ci]
+						}
+					}
+				}
+				out.Set3(oy, ox, oc, sum)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Profile counts OH·OW·COut·KH·KW·CIn MACs.
+func (c *Conv2D) Profile(in []int) (Profile, error) {
+	os, err := c.OutShape(in)
+	if err != nil {
+		return Profile{}, err
+	}
+	macs := int64(os[0]) * int64(os[1]) * int64(c.COut) * int64(c.KH) * int64(c.KW) * int64(c.CIn)
+	return Profile{
+		MACs:     macs,
+		Params:   int64(len(c.W)) + int64(len(c.B)),
+		OutElems: int64(os[0]) * int64(os[1]) * int64(os[2]),
+	}, nil
+}
+
+// --- DepthwiseConv2D -----------------------------------------------------------
+
+// DepthwiseConv2D convolves each channel independently (the MobileNet /
+// DS-CNN building block).
+type DepthwiseConv2D struct {
+	KH, KW, C int
+	Stride    int
+	SamePad   bool
+	W         []float32 // [C][KH][KW]
+	B         []float32
+	label     string
+}
+
+// NewDepthwiseConv2D returns a He-initialized depthwise convolution.
+func NewDepthwiseConv2D(kh, kw, ch, stride int, samePad bool, r *rng) *DepthwiseConv2D {
+	d := &DepthwiseConv2D{
+		KH: kh, KW: kw, C: ch, Stride: stride, SamePad: samePad,
+		W: make([]float32, ch*kh*kw), B: make([]float32, ch),
+	}
+	heInit(d.W, kh*kw, r)
+	d.label = fmt.Sprintf("dwconv %dx%d c%d s%d", kh, kw, ch, stride)
+	return d
+}
+
+// Name identifies the layer.
+func (d *DepthwiseConv2D) Name() string { return d.label }
+
+func (d *DepthwiseConv2D) pads() (int, int) {
+	if !d.SamePad {
+		return 0, 0
+	}
+	return (d.KH - 1) / 2, (d.KW - 1) / 2
+}
+
+// OutShape computes output dims.
+func (d *DepthwiseConv2D) OutShape(in []int) ([]int, error) {
+	if len(in) != 3 || in[2] != d.C {
+		return nil, fmt.Errorf("nn: dwconv expects [H,W,%d], got %v", d.C, in)
+	}
+	ph, pw := d.pads()
+	oh := (in[0]+2*ph-d.KH)/d.Stride + 1
+	ow := (in[1]+2*pw-d.KW)/d.Stride + 1
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("nn: dwconv output empty for input %v", in)
+	}
+	return []int{oh, ow, d.C}, nil
+}
+
+// Forward computes the depthwise convolution.
+func (d *DepthwiseConv2D) Forward(x *Tensor) (*Tensor, error) {
+	os, err := d.OutShape(x.Shape)
+	if err != nil {
+		return nil, err
+	}
+	h, w := x.Shape[0], x.Shape[1]
+	ph, pw := d.pads()
+	out := NewTensor(os...)
+	for oy := 0; oy < os[0]; oy++ {
+		for ox := 0; ox < os[1]; ox++ {
+			for ch := 0; ch < d.C; ch++ {
+				sum := d.B[ch]
+				for ky := 0; ky < d.KH; ky++ {
+					sy := oy*d.Stride + ky - ph
+					if sy < 0 || sy >= h {
+						continue
+					}
+					for kx := 0; kx < d.KW; kx++ {
+						sx := ox*d.Stride + kx - pw
+						if sx < 0 || sx >= w {
+							continue
+						}
+						sum += d.W[(ch*d.KH+ky)*d.KW+kx] * x.At3(sy, sx, ch)
+					}
+				}
+				out.Set3(oy, ox, ch, sum)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Profile counts OH·OW·C·KH·KW MACs.
+func (d *DepthwiseConv2D) Profile(in []int) (Profile, error) {
+	os, err := d.OutShape(in)
+	if err != nil {
+		return Profile{}, err
+	}
+	macs := int64(os[0]) * int64(os[1]) * int64(d.C) * int64(d.KH) * int64(d.KW)
+	return Profile{
+		MACs:     macs,
+		Params:   int64(len(d.W)) + int64(len(d.B)),
+		OutElems: int64(os[0]) * int64(os[1]) * int64(os[2]),
+	}, nil
+}
+
+// --- Conv1D -------------------------------------------------------------------
+
+// Conv1D convolves [T,C] sequences (biopotential models).
+type Conv1D struct {
+	K, CIn, COut int
+	Stride       int
+	SamePad      bool
+	W            []float32 // [COut][K][CIn]
+	B            []float32
+	label        string
+}
+
+// NewConv1D returns a He-initialized 1-D convolution.
+func NewConv1D(k, cin, cout, stride int, samePad bool, r *rng) *Conv1D {
+	c := &Conv1D{
+		K: k, CIn: cin, COut: cout, Stride: stride, SamePad: samePad,
+		W: make([]float32, cout*k*cin), B: make([]float32, cout),
+	}
+	heInit(c.W, k*cin, r)
+	c.label = fmt.Sprintf("conv1d %dx%d→%d s%d", k, cin, cout, stride)
+	return c
+}
+
+// Name identifies the layer.
+func (c *Conv1D) Name() string { return c.label }
+
+func (c *Conv1D) pad() int {
+	if !c.SamePad {
+		return 0
+	}
+	return (c.K - 1) / 2
+}
+
+// OutShape computes the output length.
+func (c *Conv1D) OutShape(in []int) ([]int, error) {
+	if len(in) != 2 || in[1] != c.CIn {
+		return nil, fmt.Errorf("nn: conv1d expects [T,%d], got %v", c.CIn, in)
+	}
+	p := c.pad()
+	ot := (in[0]+2*p-c.K)/c.Stride + 1
+	if ot <= 0 {
+		return nil, fmt.Errorf("nn: conv1d output empty for input %v", in)
+	}
+	return []int{ot, c.COut}, nil
+}
+
+// Forward computes the 1-D convolution.
+func (c *Conv1D) Forward(x *Tensor) (*Tensor, error) {
+	os, err := c.OutShape(x.Shape)
+	if err != nil {
+		return nil, err
+	}
+	tLen := x.Shape[0]
+	p := c.pad()
+	out := NewTensor(os...)
+	for ot := 0; ot < os[0]; ot++ {
+		for oc := 0; oc < c.COut; oc++ {
+			sum := c.B[oc]
+			for k := 0; k < c.K; k++ {
+				st := ot*c.Stride + k - p
+				if st < 0 || st >= tLen {
+					continue
+				}
+				for ci := 0; ci < c.CIn; ci++ {
+					sum += c.W[(oc*c.K+k)*c.CIn+ci] * x.Data[st*c.CIn+ci]
+				}
+			}
+			out.Data[ot*c.COut+oc] = sum
+		}
+	}
+	return out, nil
+}
+
+// Profile counts OT·COut·K·CIn MACs.
+func (c *Conv1D) Profile(in []int) (Profile, error) {
+	os, err := c.OutShape(in)
+	if err != nil {
+		return Profile{}, err
+	}
+	macs := int64(os[0]) * int64(c.COut) * int64(c.K) * int64(c.CIn)
+	return Profile{
+		MACs:     macs,
+		Params:   int64(len(c.W)) + int64(len(c.B)),
+		OutElems: int64(os[0]) * int64(os[1]),
+	}, nil
+}
+
+// --- Pooling and pointwise ------------------------------------------------------
+
+// MaxPool2D pools [H,W,C] by non-overlapping windows.
+type MaxPool2D struct{ Size int }
+
+// Name identifies the layer.
+func (p *MaxPool2D) Name() string { return fmt.Sprintf("maxpool %d", p.Size) }
+
+// OutShape divides spatial dims by the pool size.
+func (p *MaxPool2D) OutShape(in []int) ([]int, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("nn: maxpool expects [H,W,C], got %v", in)
+	}
+	if p.Size <= 0 || in[0] < p.Size || in[1] < p.Size {
+		return nil, fmt.Errorf("nn: maxpool %d too large for %v", p.Size, in)
+	}
+	return []int{in[0] / p.Size, in[1] / p.Size, in[2]}, nil
+}
+
+// Forward computes the max over each window.
+func (p *MaxPool2D) Forward(x *Tensor) (*Tensor, error) {
+	os, err := p.OutShape(x.Shape)
+	if err != nil {
+		return nil, err
+	}
+	out := NewTensor(os...)
+	for oy := 0; oy < os[0]; oy++ {
+		for ox := 0; ox < os[1]; ox++ {
+			for c := 0; c < os[2]; c++ {
+				m := float32(math.Inf(-1))
+				for ky := 0; ky < p.Size; ky++ {
+					for kx := 0; kx < p.Size; kx++ {
+						v := x.At3(oy*p.Size+ky, ox*p.Size+kx, c)
+						if v > m {
+							m = v
+						}
+					}
+				}
+				out.Set3(oy, ox, c, m)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Profile: pooling has comparisons, not MACs.
+func (p *MaxPool2D) Profile(in []int) (Profile, error) {
+	os, err := p.OutShape(in)
+	if err != nil {
+		return Profile{}, err
+	}
+	return Profile{OutElems: int64(os[0]) * int64(os[1]) * int64(os[2])}, nil
+}
+
+// GlobalAvgPool averages each channel over all spatial positions.
+type GlobalAvgPool struct{}
+
+// Name identifies the layer.
+func (GlobalAvgPool) Name() string { return "global-avgpool" }
+
+// OutShape returns [C].
+func (GlobalAvgPool) OutShape(in []int) ([]int, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("nn: gap expects [H,W,C], got %v", in)
+	}
+	return []int{in[2]}, nil
+}
+
+// Forward averages spatially.
+func (g GlobalAvgPool) Forward(x *Tensor) (*Tensor, error) {
+	os, err := g.OutShape(x.Shape)
+	if err != nil {
+		return nil, err
+	}
+	out := NewTensor(os...)
+	hw := x.Shape[0] * x.Shape[1]
+	for c := 0; c < os[0]; c++ {
+		var sum float32
+		for i := 0; i < hw; i++ {
+			sum += x.Data[i*os[0]+c]
+		}
+		out.Data[c] = sum / float32(hw)
+	}
+	return out, nil
+}
+
+// Profile: adds only.
+func (g GlobalAvgPool) Profile(in []int) (Profile, error) {
+	os, err := g.OutShape(in)
+	if err != nil {
+		return Profile{}, err
+	}
+	return Profile{OutElems: int64(os[0])}, nil
+}
+
+// ReLU is the rectifier activation.
+type ReLU struct{}
+
+// Name identifies the layer.
+func (ReLU) Name() string { return "relu" }
+
+// OutShape is identity.
+func (ReLU) OutShape(in []int) ([]int, error) { return append([]int(nil), in...), nil }
+
+// Forward clamps negatives to zero.
+func (ReLU) Forward(x *Tensor) (*Tensor, error) {
+	out := x.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out, nil
+}
+
+// Profile: no MACs.
+func (ReLU) Profile(in []int) (Profile, error) {
+	n := int64(1)
+	for _, d := range in {
+		n *= int64(d)
+	}
+	return Profile{OutElems: n}, nil
+}
+
+// Softmax normalizes a flat vector to a probability distribution.
+type Softmax struct{}
+
+// Name identifies the layer.
+func (Softmax) Name() string { return "softmax" }
+
+// OutShape is identity.
+func (Softmax) OutShape(in []int) ([]int, error) { return append([]int(nil), in...), nil }
+
+// Forward computes a numerically stable softmax.
+func (Softmax) Forward(x *Tensor) (*Tensor, error) {
+	out := x.Clone()
+	softmaxInPlace(out.Data)
+	return out, nil
+}
+
+// Profile: exp/normalize only.
+func (Softmax) Profile(in []int) (Profile, error) {
+	n := int64(1)
+	for _, d := range in {
+		n *= int64(d)
+	}
+	return Profile{OutElems: n}, nil
+}
+
+// softmaxInPlace applies a stable softmax to v.
+func softmaxInPlace(v []float32) {
+	if len(v) == 0 {
+		return
+	}
+	max := v[0]
+	for _, x := range v {
+		if x > max {
+			max = x
+		}
+	}
+	var sum float32
+	for i, x := range v {
+		e := float32(math.Exp(float64(x - max)))
+		v[i] = e
+		sum += e
+	}
+	if sum == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}
+
+// Flatten reshapes any input to a vector.
+type Flatten struct{}
+
+// Name identifies the layer.
+func (Flatten) Name() string { return "flatten" }
+
+// OutShape returns the flat element count.
+func (Flatten) OutShape(in []int) ([]int, error) {
+	n := 1
+	for _, d := range in {
+		n *= d
+	}
+	return []int{n}, nil
+}
+
+// Forward reshapes without copying.
+func (Flatten) Forward(x *Tensor) (*Tensor, error) { return x.Reshape(x.Elems()) }
+
+// Profile: free.
+func (Flatten) Profile(in []int) (Profile, error) {
+	n := int64(1)
+	for _, d := range in {
+		n *= int64(d)
+	}
+	return Profile{OutElems: n}, nil
+}

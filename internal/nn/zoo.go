@@ -1,0 +1,97 @@
+package nn
+
+// Reference model zoo: the three workload classes the paper's wearable-AI
+// narrative names — voice (keyword spotting on AI pins and pendants),
+// biopotential (ECG beat classification on patches), and first-person
+// vision (smart-glasses scene classification). Topologies follow the
+// standard TinyML designs (DS-CNN, 1-D CNN, MobileNet-style), and weights
+// are deterministically seeded: the partitioner consumes only the layer
+// profiles, while the forward pass exercises real arithmetic.
+
+// KWSNet returns a DS-CNN-style keyword spotter over a 49×10 MFCC-like
+// feature map: one standard conv followed by four depthwise-separable
+// blocks and a softmax over 12 keywords (≈ 2.7 M MACs, ≈ 23 k params —
+// the "DS-CNN-S" operating point).
+func KWSNet(seed int64) (*Sequential, error) {
+	r := newRNG(seed)
+	ds := func(ch int) []Layer {
+		return []Layer{
+			NewDepthwiseConv2D(3, 3, ch, 1, true, r), ReLU{},
+			NewConv2D(1, 1, ch, ch, 1, true, r), ReLU{},
+		}
+	}
+	layers := []Layer{
+		NewConv2D(10, 4, 1, 64, 2, true, r), ReLU{},
+	}
+	for i := 0; i < 4; i++ {
+		layers = append(layers, ds(64)...)
+	}
+	layers = append(layers,
+		GlobalAvgPool{},
+		NewDense(64, 12, r),
+		Softmax{},
+	)
+	return NewSequential("KWS DS-CNN", []int{49, 10, 1}, layers...)
+}
+
+// ECGNet returns a 1-D CNN beat classifier over 256-sample single-lead
+// windows: three conv1d/pool stages and a 5-class softmax (normal + 4
+// arrhythmia classes, the AAMI grouping; ≈ 0.9 M MACs).
+func ECGNet(seed int64) (*Sequential, error) {
+	r := newRNG(seed)
+	layers := []Layer{
+		NewConv1D(7, 1, 16, 2, true, r), ReLU{},
+		NewConv1D(5, 16, 32, 2, true, r), ReLU{},
+		NewConv1D(3, 32, 48, 2, true, r), ReLU{},
+		Flatten{},
+		NewDense(32*48, 64, r), ReLU{},
+		NewDense(64, 5, r),
+		Softmax{},
+	}
+	return NewSequential("ECG 1D-CNN", []int{256, 1}, layers...)
+}
+
+// VisionNet returns a MobileNet-style tiny scene classifier over 96×96
+// grayscale frames: stem conv then six depthwise-separable stages with
+// stride-2 downsampling, global pooling and a 10-class head
+// (≈ 6 M MACs — a MobileNet-0.25 / visual-wake-words operating point).
+func VisionNet(seed int64) (*Sequential, error) {
+	r := newRNG(seed)
+	sep := func(cin, cout, stride int) []Layer {
+		return []Layer{
+			NewDepthwiseConv2D(3, 3, cin, stride, true, r), ReLU{},
+			NewConv2D(1, 1, cin, cout, 1, true, r), ReLU{},
+		}
+	}
+	layers := []Layer{
+		NewConv2D(3, 3, 1, 16, 2, true, r), ReLU{}, // 48×48×16
+	}
+	layers = append(layers, sep(16, 32, 2)...)   // 24×24×32
+	layers = append(layers, sep(32, 64, 2)...)   // 12×12×64
+	layers = append(layers, sep(64, 128, 1)...)  // 12×12×128
+	layers = append(layers, sep(128, 128, 1)...) // 12×12×128
+	layers = append(layers, sep(128, 256, 2)...) // 6×6×256
+	layers = append(layers,
+		GlobalAvgPool{},
+		NewDense(256, 10, r),
+		Softmax{},
+	)
+	return NewSequential("Vision MobileNet-tiny", []int{96, 96, 1}, layers...)
+}
+
+// Zoo returns all reference models, seeded deterministically.
+func Zoo(seed int64) ([]*Sequential, error) {
+	kws, err := KWSNet(seed)
+	if err != nil {
+		return nil, err
+	}
+	ecg, err := ECGNet(seed + 1)
+	if err != nil {
+		return nil, err
+	}
+	vis, err := VisionNet(seed + 2)
+	if err != nil {
+		return nil, err
+	}
+	return []*Sequential{kws, ecg, vis}, nil
+}

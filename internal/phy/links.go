@@ -1,0 +1,56 @@
+package phy
+
+import (
+	"wiban/internal/channel"
+	"wiban/internal/units"
+)
+
+// Canonical link constructors: the two physical layers the paper
+// compares, parameterized only by body-path length. These connect the
+// channel models to the PER the MAC and network simulator consume.
+
+// WiRLink returns the Wi-R physical link over the default EQS body
+// channel: a 100 µW-class voltage-mode transmitter at 21 MHz carrying
+// 4 Mbps OOK in 8 MHz.
+func WiRLink(bodyPath units.Distance) *Link {
+	eqs := channel.DefaultEQSBody()
+	return &Link{
+		Name:       "Wi-R 4 Mbps",
+		Mod:        OOK,
+		TXPower:    100 * units.Microwatt,
+		GainDB:     eqs.GainAtDB(21*units.Megahertz, bodyPath),
+		Rate:       4 * units.Mbps,
+		Bandwidth:  8 * units.Megahertz,
+		NoiseFigDB: 15,
+	}
+}
+
+// BLELink returns the BLE 1M physical link over the default shadowed
+// 2.4 GHz body path at 0 dBm.
+func BLELink(bodyPath units.Distance) *Link {
+	rf := channel.DefaultBLEPath()
+	return &Link{
+		Name:       "BLE 1M",
+		Mod:        GFSK,
+		TXPower:    units.FromDBm(0),
+		GainDB:     rf.GainDB(bodyPath),
+		Rate:       1 * units.Mbps,
+		Bandwidth:  1 * units.Megahertz,
+		NoiseFigDB: 12,
+	}
+}
+
+// MQSLink returns the implant magneto-quasistatic link at the given
+// tissue depth: 1 Mbps OOK at 1 MHz carrier from a 10 µW coil driver.
+func MQSLink(depth units.Distance) *Link {
+	coil := channel.DefaultMQSImplant()
+	return &Link{
+		Name:       "MQS implant 1 Mbps",
+		Mod:        OOK,
+		TXPower:    10 * units.Microwatt,
+		GainDB:     coil.GainDB(depth),
+		Rate:       1 * units.Mbps,
+		Bandwidth:  2 * units.Megahertz,
+		NoiseFigDB: 10,
+	}
+}

@@ -1,0 +1,129 @@
+// Package security quantifies the paper's physical-security claim: EQS
+// fields stay in a "personal bubble" around the body, while RF radiates a
+// room-scale (and beyond) bubble that any sniffer can sit in.
+//
+// The model is an eavesdropper with a stated receiver quality (noise
+// bandwidth, noise figure, required demodulation SNR). For the EQS channel
+// the attacker's pickup follows the quasistatic near-field collapse
+// (channel.EQSBody.LeakageGainDB); for BLE it follows Friis. The intercept
+// range — the largest distance at which the attacker still demodulates —
+// is the figure of merit (Das et al. measured ≈ 0.15 m for EQS-HBC;
+// BLE sniffing is demonstrated at hundreds of meters line-of-sight).
+package security
+
+import (
+	"math"
+
+	"wiban/internal/channel"
+	"wiban/internal/phy"
+	"wiban/internal/units"
+)
+
+// Sniffer is an eavesdropping receiver.
+type Sniffer struct {
+	// RequiredSNRdB is the SNR needed to demodulate the intercepted
+	// signal.
+	RequiredSNRdB float64
+	// NoiseBandwidth is the attacker's receive bandwidth (matched to the
+	// signal).
+	NoiseBandwidth units.Frequency
+	// NoiseFigureDB is the attacker's receiver noise figure — a serious
+	// adversary brings a low-noise front-end.
+	NoiseFigureDB float64
+}
+
+// CapableSniffer returns a well-equipped adversary: 5 dB noise figure,
+// 10 dB demod threshold.
+func CapableSniffer(bw units.Frequency) Sniffer {
+	return Sniffer{RequiredSNRdB: 10, NoiseBandwidth: bw, NoiseFigureDB: 5}
+}
+
+// noise returns the attacker's noise floor.
+func (s Sniffer) noise() units.Power {
+	return phy.NoiseFloor(s.NoiseBandwidth, s.NoiseFigureDB)
+}
+
+// snrAt returns the attacker SNR (dB) given a received power.
+func (s Sniffer) snrAt(rx units.Power) float64 {
+	n := s.noise()
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	return units.DB(float64(rx) / float64(n))
+}
+
+// EQSInterceptRange returns the maximum distance from the body surface at
+// which the sniffer can demodulate a Wi-R transmission of txPower at
+// carrier f. It returns 0 if even contact-range interception fails.
+func EQSInterceptRange(m *channel.EQSBody, txPower units.Power, f units.Frequency, s Sniffer) units.Distance {
+	snrAt := func(d units.Distance) float64 {
+		rx := units.Power(float64(txPower) * units.FromDB(m.LeakageGainDB(f, d)))
+		return s.snrAt(rx)
+	}
+	if snrAt(0) < s.RequiredSNRdB {
+		return 0
+	}
+	// The leakage is monotone decreasing: bisect on distance.
+	lo, hi := units.Distance(0), 100*units.Meter
+	if snrAt(hi) >= s.RequiredSNRdB {
+		return hi
+	}
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if snrAt(mid) >= s.RequiredSNRdB {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// RFInterceptRange returns the free-space (line-of-sight) distance at
+// which the sniffer can demodulate an RF transmission of txPower — the
+// worst case the defender must assume for a radiative link.
+func RFInterceptRange(m *channel.RFPath, txPower units.Power, s Sniffer) units.Distance {
+	// Max tolerable path loss: P_tx − (noise + required SNR).
+	budget := units.DBm(txPower) - (units.DBm(s.noise()) + s.RequiredSNRdB)
+	if budget <= 0 {
+		return 0
+	}
+	return m.RangeForLossDB(budget)
+}
+
+// Assessment compares both technologies for a standard attacker.
+type Assessment struct {
+	EQSRange units.Distance
+	RFRange  units.Distance
+	// Advantage is RFRange / EQSRange — how much smaller the attack
+	// surface radius becomes when the link moves from RF to EQS.
+	Advantage float64
+}
+
+// Assess runs the default comparison: Wi-R (100 µW-class EQS at 21 MHz,
+// 8 MHz attacker bandwidth) versus BLE (0 dBm at 2.44 GHz, 1 MHz attacker
+// bandwidth), each against a capable sniffer.
+func Assess() Assessment {
+	eqs := EQSInterceptRange(channel.DefaultEQSBody(), 100*units.Microwatt,
+		21*units.Megahertz, CapableSniffer(8*units.Megahertz))
+	rf := RFInterceptRange(channel.DefaultBLEPath(), units.FromDBm(0),
+		CapableSniffer(1*units.Megahertz))
+	a := Assessment{EQSRange: eqs, RFRange: rf}
+	if eqs > 0 {
+		a.Advantage = float64(rf / eqs)
+	} else {
+		a.Advantage = math.Inf(1)
+	}
+	return a
+}
+
+// BubbleAreaRatio returns the ratio of attack-surface areas (∝ r²): the
+// number the "10×" market expansion narrative actually leans on when
+// arguing physical security.
+func (a Assessment) BubbleAreaRatio() float64 {
+	if a.EQSRange <= 0 {
+		return math.Inf(1)
+	}
+	r := float64(a.RFRange / a.EQSRange)
+	return r * r
+}

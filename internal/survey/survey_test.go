@@ -1,0 +1,185 @@
+package survey
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wiban/internal/units"
+)
+
+func TestEveryFig2DeviceConsistent(t *testing.T) {
+	// The Fig. 2 reproduction: for every device class, battery capacity
+	// divided by platform power must land in the battery-life band the
+	// market (and the paper) reports.
+	for _, d := range Fig2Devices() {
+		life := d.ProjectedLife()
+		if !d.Consistent() {
+			min, max := d.Claimed.Bounds()
+			t.Errorf("%s: projected %v not in claimed %q [%v, %v)",
+				d.Name, life, d.Claimed, min, max)
+		}
+	}
+}
+
+func TestFig2CoversBothErasAndAllBands(t *testing.T) {
+	devices := Fig2Devices()
+	if len(devices) != 11 {
+		t.Fatalf("device count = %d, want 11 (6 pre-2024 + 5 AI boom)", len(devices))
+	}
+	eras := map[Era]int{}
+	bands := map[LifeBand]bool{}
+	for _, d := range devices {
+		eras[d.Era]++
+		bands[d.Claimed] = true
+	}
+	if eras[Pre2024] != 6 || eras[AIBoom2024] != 5 {
+		t.Errorf("era split = %v, want 6/5", eras)
+	}
+	for _, b := range []LifeBand{BandHours3to5, BandSub10h, BandAllDay, BandAllWeek} {
+		if !bands[b] {
+			t.Errorf("band %v unrepresented", b)
+		}
+	}
+}
+
+func TestFig2ShapeClaims(t *testing.T) {
+	devices := Fig2Devices()
+	byName := map[string]*Device{}
+	for i := range devices {
+		byName[devices[i].Name] = &devices[i]
+	}
+	// Paper shape: rings/trackers outlast watches; the AI-vision devices
+	// (glasses, MR headsets) have the shortest life of all.
+	if byName["Smart ring"].ProjectedLife() <= byName["Smartwatch"].ProjectedLife() {
+		t.Error("ring should outlast smartwatch")
+	}
+	if byName["Smart glasses"].ProjectedLife() >= byName["AI pin"].ProjectedLife() {
+		t.Error("camera glasses should die before audio-first AI pin")
+	}
+	if byName["MR headset"].ProjectedLife() >= byName["Smartphone"].ProjectedLife() {
+		t.Error("MR headset should have shorter life than smartphone")
+	}
+}
+
+func TestBandBoundsOrdered(t *testing.T) {
+	bands := []LifeBand{BandHours3to5, BandSub10h, BandAllDay, BandAllWeek}
+	for i := 1; i < len(bands); i++ {
+		_, prevMax := bands[i-1].Bounds()
+		min, _ := bands[i].Bounds()
+		if min < prevMax {
+			// Bands may touch but not invert.
+			t.Errorf("band %v starts (%v) before %v ends (%v)",
+				bands[i], min, bands[i-1], prevMax)
+		}
+	}
+	if LifeBand(99).String() != "LifeBand(99)" {
+		t.Error("unknown band string")
+	}
+	if mn, mx := LifeBand(99).Bounds(); mn != 0 || mx != 0 {
+		t.Error("unknown band bounds should be zero")
+	}
+}
+
+func TestEraString(t *testing.T) {
+	if Pre2024.String() != "Pre-2024 Wearables" || AIBoom2024.String() != "2024 Wearable-AI Boom" {
+		t.Error("era strings wrong")
+	}
+	if Era(7).String() != "Era(7)" {
+		t.Error("unknown era string wrong")
+	}
+}
+
+func TestSensingSurveyMonotoneTrend(t *testing.T) {
+	// The survey itself need not be monotone (PPG's LED sits above trend)
+	// but rate must be strictly increasing as listed.
+	pts := SensingSurvey()
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Rate <= pts[i-1].Rate {
+			t.Errorf("survey not rate-ordered at %q", pts[i].Label)
+		}
+	}
+	if len(pts) < 10 {
+		t.Errorf("survey has %d points, want a real survey (≥ 10)", len(pts))
+	}
+}
+
+func TestFitSensingPowerExactRecovery(t *testing.T) {
+	// Fitting synthetic data drawn from a known power law must recover it.
+	truth := PowerLaw{A: 2e-9, B: 0.9}
+	var pts []Point
+	for r := 10.0; r < 1e8; r *= 10 {
+		pts = append(pts, Point{units.DataRate(r), truth.At(units.DataRate(r)), "synthetic"})
+	}
+	got := FitSensingPower(pts)
+	if math.Abs(got.B-truth.B) > 1e-9 || math.Abs(got.A-truth.A)/truth.A > 1e-6 {
+		t.Errorf("fit = %+v, want %+v", got, truth)
+	}
+}
+
+func TestDefaultSensingTrendShape(t *testing.T) {
+	trend := DefaultSensingTrend()
+	// The exponent should be near-linear (0.7–1.2): sensing power grows
+	// roughly proportionally with rate across five decades.
+	if trend.B < 0.7 || trend.B > 1.2 {
+		t.Errorf("trend exponent = %.2f, want 0.7–1.2", trend.B)
+	}
+	// Anchor checks (within ~4× of the class values, i.e. survey scatter):
+	checks := []struct {
+		r    units.DataRate
+		want units.Power
+	}{
+		{3 * units.Kbps, 20 * units.Microwatt},
+		{256 * units.Kbps, 1.2 * units.Milliwatt},
+		{5 * units.Mbps, 25 * units.Milliwatt},
+	}
+	for _, c := range checks {
+		got := trend.At(c.r)
+		ratio := float64(got) / float64(c.want)
+		if ratio < 0.25 || ratio > 4 {
+			t.Errorf("trend at %v = %v, want within 4× of %v", c.r, got, c.want)
+		}
+	}
+}
+
+func TestTrendFitQuality(t *testing.T) {
+	trend := DefaultSensingTrend()
+	rms := trend.RMSLogError(SensingSurvey())
+	// Survey scatter should be within ~one half-decade RMS.
+	if rms > 0.55 {
+		t.Errorf("RMS log error = %.2f decades, want ≤ 0.55", rms)
+	}
+	if rms == 0 {
+		t.Error("zero RMS error is implausible for a real survey")
+	}
+}
+
+func TestPowerLawMonotone(t *testing.T) {
+	trend := DefaultSensingTrend()
+	f := func(a, b uint32) bool {
+		ra := units.DataRate(a%100000000) + 1
+		rb := units.DataRate(b%100000000) + 1
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		return trend.At(ra) <= trend.At(rb)+1e-18
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerLawDegenerate(t *testing.T) {
+	if (PowerLaw{A: 1, B: 1}).At(0) != 0 {
+		t.Error("power law at rate 0 should be 0")
+	}
+	if got := FitSensingPower(nil); got.A != 0 || got.B != 0 {
+		t.Error("fit of empty survey should be zero")
+	}
+	if got := FitSensingPower([]Point{{0, 0, "bad"}}); got.A != 0 {
+		t.Error("fit of degenerate survey should be zero")
+	}
+	if (PowerLaw{}).RMSLogError(nil) != 0 {
+		t.Error("RMS of empty survey should be 0")
+	}
+}
