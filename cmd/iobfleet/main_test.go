@@ -1,0 +1,33 @@
+package main
+
+import (
+	"testing"
+
+	"wiban/internal/fleet"
+	"wiban/internal/units"
+)
+
+// TestDefaultFlagsProduceRunnableFleet mirrors main's construction with
+// the default flag values and runs a miniature sweep: if a default ever
+// stops validating, the CLI dies on startup — catch that in tests.
+func TestDefaultFlagsProduceRunnableFleet(t *testing.T) {
+	gen := &fleet.Generator{
+		Base:          fleet.DefaultBase(),
+		PERSpread:     0.5,
+		BatterySpread: 0.3,
+		HarvesterProb: 0.3,
+		DropNodeProb:  0.25,
+		BLEFraction:   0.25,
+	}
+	if err := gen.Validate(); err != nil {
+		t.Fatalf("default generator invalid: %v", err)
+	}
+	f := &fleet.Fleet{Wearers: 20, Seed: 42, Scenario: gen.Scenario(), Span: 5 * units.Second, Workers: 2}
+	rep, _, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Wearers != 20 || rep.Nodes < 20 || rep.PacketsDelivered == 0 {
+		t.Fatalf("implausible report: %+v", rep)
+	}
+}

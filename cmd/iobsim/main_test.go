@@ -1,0 +1,38 @@
+package main
+
+import (
+	"testing"
+
+	"wiban/internal/bannet"
+	"wiban/internal/units"
+)
+
+// TestScenarioBuildsAndRuns smoke-tests both radio variants of the default
+// scenario: the config must validate and a short simulation must deliver
+// traffic on every node.
+func TestScenarioBuildsAndRuns(t *testing.T) {
+	for _, ble := range []bool{false, true} {
+		cfg := scenario(ble)
+		cfg.Seed = 1
+		sim, err := bannet.NewSim(cfg)
+		if err != nil {
+			t.Fatalf("ble=%v: scenario does not validate: %v", ble, err)
+		}
+		rep, err := sim.Run(10 * units.Second)
+		if err != nil {
+			t.Fatalf("ble=%v: %v", ble, err)
+		}
+		wantNodes := 4
+		if ble {
+			wantNodes = 3 // the camera stream does not fit BLE
+		}
+		if len(rep.Nodes) != wantNodes {
+			t.Fatalf("ble=%v: %d nodes, want %d", ble, len(rep.Nodes), wantNodes)
+		}
+		for _, n := range rep.Nodes {
+			if n.PacketsDelivered == 0 {
+				t.Errorf("ble=%v: node %s delivered nothing in 10 s", ble, n.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+// TestModelAndLinkBuilders covers the CLI's name → object tables,
+// including the error paths the flag parser relies on.
+func TestModelAndLinkBuilders(t *testing.T) {
+	for _, name := range []string{"kws", "ecg", "vision"} {
+		m, err := model(name)
+		if err != nil || m == nil {
+			t.Errorf("model(%q) = %v, %v", name, m, err)
+		}
+	}
+	if _, err := model("nope"); err == nil {
+		t.Error("model accepted an unknown name")
+	}
+	for _, name := range []string{"wir", "ble", "bodywire", "subuw"} {
+		l, err := link(name)
+		if err != nil || l == nil {
+			t.Errorf("link(%q) = %v, %v", name, l, err)
+		}
+	}
+	if _, err := link("zigbee"); err == nil {
+		t.Error("link accepted an unknown name")
+	}
+}

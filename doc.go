@@ -13,7 +13,14 @@
 //     energy models);
 //   - internal/nn, internal/partition — wearable DNNs and the split-
 //     computing optimizer;
-//   - internal/bannet — the discrete-event network simulator;
+//   - internal/bannet — the discrete-event network simulator (a reusable
+//     bannet.Sim per scenario; bannet.Run for one-shot runs);
+//   - internal/fleet — the population-scale engine: N independent wearer
+//     simulations across a worker pool (cmd/iobfleet drives it), with a
+//     scenario generator that spreads channel loss, batteries, harvesters
+//     and device mixes across the fleet, and deterministic aggregation —
+//     the same fleet seed yields a byte-identical report at any worker
+//     count, via splitmix64 per-wearer seeds (desim.DeriveSeed);
 //   - internal/figures — generators for every figure and table in the
 //     paper (also exposed through cmd/iobfig and the root benchmarks).
 //

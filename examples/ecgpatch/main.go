@@ -21,6 +21,18 @@ import (
 	"wiban/internal/units"
 )
 
+// simConfig is the discrete-event cross-check network: the same ECG front
+// end on Wi-R and BLE side by side, so one run compares the radios under
+// identical traffic.
+func simConfig(patch *sensors.Sensor, batt *energy.Battery) bannet.Config {
+	return bannet.Config{Seed: 11, Nodes: []bannet.NodeConfig{
+		{ID: 1, Name: "wir", Sensor: patch, Policy: isa.StreamAll{}, Radio: radio.WiR(),
+			Battery: batt, PacketBits: 1024, PER: 0.01, MaxRetries: 5},
+		{ID: 2, Name: "ble", Sensor: patch, Policy: isa.StreamAll{}, Radio: radio.BLE42(),
+			Battery: batt, PacketBits: 1024, PER: 0.01, MaxRetries: 5},
+	}}
+}
+
 func main() {
 	fs := 250 * units.Hertz
 	patch := sensors.ECGPatch()
@@ -69,13 +81,7 @@ func main() {
 
 	// --- Discrete-event cross-check --------------------------------------
 	fmt.Println("\nsimulating 1 hour (Wi-R vs BLE, raw streaming)...")
-	cfg := bannet.Config{Seed: 11, Nodes: []bannet.NodeConfig{
-		{ID: 1, Name: "wir", Sensor: patch, Policy: isa.StreamAll{}, Radio: radio.WiR(),
-			Battery: batt, PacketBits: 1024, PER: 0.01, MaxRetries: 5},
-		{ID: 2, Name: "ble", Sensor: patch, Policy: isa.StreamAll{}, Radio: radio.BLE42(),
-			Battery: batt, PacketBits: 1024, PER: 0.01, MaxRetries: 5},
-	}}
-	rep, err := bannet.Run(cfg, units.Hour)
+	rep, err := bannet.Run(simConfig(patch, batt), units.Hour)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"testing"
+
+	"wiban/internal/bannet"
+	"wiban/internal/energy"
+	"wiban/internal/sensors"
+	"wiban/internal/units"
+)
+
+// TestSimConfigValidates asserts the example's cross-check network passes
+// bannet validation and actually delivers traffic in a short run.
+func TestSimConfigValidates(t *testing.T) {
+	cfg := simConfig(sensors.ECGPatch(), energy.Fig3Battery())
+	sim, err := bannet.NewSim(cfg)
+	if err != nil {
+		t.Fatalf("example config rejected: %v", err)
+	}
+	rep, err := sim.Run(10 * units.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range rep.Nodes {
+		if n.PacketsDelivered == 0 {
+			t.Errorf("node %s delivered nothing", n.Name)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+
+	"wiban/internal/bannet"
+	"wiban/internal/units"
+)
+
+// TestImplantConfigValidates asserts the implant network passes bannet
+// validation at the depths the example studies, with the PER coming out
+// of the physical MQS link budget.
+func TestImplantConfigValidates(t *testing.T) {
+	for _, depth := range []units.Distance{2 * units.Centimeter, 5 * units.Centimeter, 10 * units.Centimeter} {
+		cfg := implantConfig(depth)
+		cfg.Seed = 31
+		if per := cfg.Nodes[0].PER; per < 0 || per >= 1 {
+			t.Fatalf("depth %v: link budget PER %v outside [0,1)", depth, per)
+		}
+		sim, err := bannet.NewSim(cfg)
+		if err != nil {
+			t.Fatalf("depth %v: example config rejected: %v", depth, err)
+		}
+		rep, err := sim.Run(10 * units.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Nodes[0].PacketsDelivered == 0 {
+			t.Errorf("depth %v: implant delivered nothing", depth)
+		}
+	}
+}

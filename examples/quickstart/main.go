@@ -15,20 +15,19 @@ import (
 	"wiban/internal/units"
 )
 
-func main() {
-	// The hub is the "wearable brain": daily-charged, carries the NPU.
-	hub := iob.DefaultHub()
-
-	// Three leaf nodes. The ECG patch streams raw samples; the microphone
-	// compresses with ADPCM and offloads keyword spotting to the hub; the
-	// camera ships MJPEG frames for hub-side vision.
+// buildNetwork composes the quickstart BAN. The hub is the "wearable
+// brain": daily-charged, carries the NPU. Three leaf nodes hang off it:
+// the ECG patch streams raw samples; the microphone compresses with ADPCM
+// and offloads keyword spotting to the hub; the camera ships MJPEG frames
+// for hub-side vision.
+func buildNetwork() (*iob.Network, error) {
 	kws, err := nn.KWSNet(1)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
-	net := &iob.Network{
+	return &iob.Network{
 		Name: "quickstart BAN",
-		Hub:  hub,
+		Hub:  iob.DefaultHub(),
 		Nodes: []*iob.NodeDesign{
 			iob.HumanInspiredNode("ecg-patch", sensors.ECGPatch(), nil, nil),
 			iob.HumanInspiredNode("voice-mic", sensors.MicMono(),
@@ -38,6 +37,13 @@ func main() {
 				isa.Compress{Label: "MJPEG q50", MeasuredRatio: 8, Power: 500 * units.Microwatt},
 				nil),
 		},
+	}, nil
+}
+
+func main() {
+	net, err := buildNetwork()
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	// 1. Does the network fit the 4 Mbps body medium?

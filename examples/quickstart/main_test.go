@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+
+	"wiban/internal/bannet"
+	"wiban/internal/iob"
+	"wiban/internal/units"
+)
+
+// TestNetworkLowersToValidSimConfig asserts the quickstart network passes
+// bannet validation after lowering through the iob bridge (which derives
+// each PER from the physical link budget), and survives a short run.
+func TestNetworkLowersToValidSimConfig(t *testing.T) {
+	net, err := buildNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Schedulable(nil); err != nil {
+		t.Fatalf("network does not fit the medium: %v", err)
+	}
+	cfg, err := net.ToSimConfig(iob.SimOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := bannet.NewSim(cfg)
+	if err != nil {
+		t.Fatalf("lowered config rejected by bannet: %v", err)
+	}
+	rep, err := sim.Run(5 * units.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HubRxBits == 0 {
+		t.Error("no traffic reached the hub")
+	}
+}

@@ -14,14 +14,37 @@ import (
 	"fmt"
 	"log"
 
+	"wiban/internal/bannet"
 	"wiban/internal/compress"
 	"wiban/internal/energy"
-	"wiban/internal/mac"
+	"wiban/internal/isa"
 	"wiban/internal/nn"
 	"wiban/internal/radio"
 	"wiban/internal/sensors"
 	"wiban/internal/units"
 )
+
+// glassesConfig is the glasses BAN as a simulatable network: the MJPEG
+// camera at the measured compression ratio sharing the Wi-R medium with
+// the three companion wearables the coexistence check assumes.
+func glassesConfig(mjpegRatio float64) bannet.Config {
+	return bannet.Config{Nodes: []bannet.NodeConfig{
+		{ID: 1, Name: "ecg", Sensor: sensors.ECGPatch(), Policy: isa.StreamAll{},
+			Radio: radio.WiR(), Battery: energy.Fig3Battery(),
+			PacketBits: 1024, PER: 0.01, MaxRetries: 5},
+		{ID: 2, Name: "imu", Sensor: sensors.IMU6Axis(), Policy: isa.StreamAll{},
+			Radio: radio.WiR(), Battery: energy.CR2032(),
+			PacketBits: 1024, PER: 0.02, MaxRetries: 5},
+		{ID: 3, Name: "audio", Sensor: sensors.MicMono(),
+			Policy: isa.Compress{Label: "ADPCM", MeasuredRatio: 4, Power: 20 * units.Microwatt},
+			Radio:  radio.WiR(), Battery: energy.Fig3Battery(),
+			PacketBits: 4096, PER: 0.02, MaxRetries: 4},
+		{ID: 4, Name: "glasses", Sensor: sensors.CameraQVGA(),
+			Policy: isa.Compress{Label: "MJPEG", MeasuredRatio: mjpegRatio, Power: 500 * units.Microwatt},
+			Radio:  radio.WiR(), Battery: energy.LiPo(300),
+			PacketBits: 16384, PER: 0.02, MaxRetries: 4},
+	}}
+}
 
 func main() {
 	cam := sensors.CameraQVGA()
@@ -86,19 +109,26 @@ func main() {
 	}
 
 	// --- Does the chosen stream coexist with other wearables? -------------
+	// One spec feeds both checks: the simulator builds its TDMA schedule
+	// from the same glassesConfig it then runs, so the utilization figure
+	// and the delivery cross-check cannot drift apart.
 	op := feasible[len(feasible)-1] // highest feasible quality
-	demands := []mac.Demand{
-		{NodeID: 1, Rate: 3 * units.Kbps, PacketBits: 1024},   // ECG
-		{NodeID: 2, Rate: 9.6 * units.Kbps, PacketBits: 1024}, // IMU
-		{NodeID: 3, Rate: 64 * units.Kbps, PacketBits: 4096},  // audio
-		{NodeID: 4, Rate: op.rate, PacketBits: 16384},         // this camera
-	}
-	sched, err := mac.DefaultTDMA().Build(demands)
+	cfg := glassesConfig(float64(cam.DataRate()) / float64(op.rate))
+	cfg.Seed = 23
+	sim, err := bannet.NewSim(cfg)
 	if err != nil {
 		log.Fatalf("TDMA: %v", err)
 	}
 	fmt.Printf("\nchosen q%d stream shares the medium with 3 other nodes: utilization %.0f%%\n",
-		op.q, sched.Utilization()*100)
+		op.q, sim.Schedule().Utilization()*100)
+
+	rep, err := sim.Run(units.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := rep.NodeByName("glasses")
+	fmt.Printf("simulated 1 min: glasses deliver %.1f%% of frames, p99 frame latency %v\n",
+		g.DeliveryRate()*100, g.LatencyP99)
 
 	// --- Hub-side vision ----------------------------------------------------
 	vision, err := nn.VisionNet(5)

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+
+	"wiban/internal/bannet"
+	"wiban/internal/units"
+)
+
+// TestGlassesConfigValidates asserts the example BAN passes bannet
+// validation at plausible MJPEG ratios, and that the infeasible raw
+// stream (ratio 1) is rejected — the whole point of the example.
+func TestGlassesConfigValidates(t *testing.T) {
+	for _, ratio := range []float64{8, 12, 20} {
+		cfg := glassesConfig(ratio)
+		cfg.Seed = 23
+		sim, err := bannet.NewSim(cfg)
+		if err != nil {
+			t.Fatalf("ratio %v: example config rejected: %v", ratio, err)
+		}
+		rep, err := sim.Run(5 * units.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g := rep.NodeByName("glasses"); g == nil || g.PacketsDelivered == 0 {
+			t.Fatalf("ratio %v: glasses delivered no frames", ratio)
+		}
+	}
+	if _, err := bannet.NewSim(glassesConfig(1)); err == nil {
+		t.Fatal("raw 9.2 Mbps camera stream must not validate against Wi-R")
+	}
+}

@@ -1,0 +1,3 @@
+module wiban
+
+go 1.21

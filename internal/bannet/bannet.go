@@ -14,9 +14,7 @@ package bannet
 
 import (
 	"fmt"
-	"sort"
 
-	"wiban/internal/desim"
 	"wiban/internal/energy"
 	"wiban/internal/isa"
 	"wiban/internal/mac"
@@ -148,285 +146,19 @@ type Report struct {
 	Events         uint64
 }
 
-// packet is one queued transfer unit.
-type packet struct {
-	created desim.Time
-	retries int
-}
-
-// nodeState is the runtime state of one node.
-type nodeState struct {
-	cfg       NodeConfig
-	outRate   units.DataRate
-	queue     []packet
-	stats     NodeStats
-	latencies []units.Duration
-	airTime   units.Duration // cumulative transmit air time
-	// Inference window assembly.
-	windowBits  int64
-	windowStart desim.Time
-	infLat      []units.Duration
-	// Battery drain (DrainBattery mode).
-	battState *energy.State
-	dead      bool
-	diedAt    desim.Time
-}
-
-// continuousPower is the node's always-on draw: sensing, ISA compute and
-// the radio sleep floor.
-func (st *nodeState) continuousPower() units.Power {
-	return st.cfg.Sensor.AFEPower + st.cfg.Policy.ComputePower() + st.cfg.Radio.Sleep
-}
-
-// drain debits the battery in DrainBattery mode and reports whether the
-// node is still alive.
-func (st *nodeState) drain(e units.Energy, now desim.Time) bool {
-	if st.battState == nil || st.dead {
-		return !st.dead
-	}
-	if !st.battState.Draw(e) || st.battState.Depleted() {
-		st.dead = true
-		st.diedAt = now
-	}
-	return !st.dead
-}
-
-// hubServer is a single-queue deterministic-service inference server.
-type hubServer struct {
-	platform  *partition.Platform
-	busyUntil desim.Time
-	busyTotal desim.Time
-	energy    units.Energy
-}
-
-// enqueue admits a job created at start and returns its completion time.
-func (h *hubServer) enqueue(now, start desim.Time, macs int64) desim.Time {
-	service := desim.FromSeconds(float64(macs) / h.platform.MACRate)
-	begin := now
-	if h.busyUntil > begin {
-		begin = h.busyUntil
-	}
-	done := begin + service
-	h.busyUntil = done
-	h.busyTotal += service
-	h.energy += units.Energy(float64(h.platform.EnergyPerMAC) * float64(macs))
-	return done
-}
-
 // Run simulates the network for the given span and returns the report.
+// It is shorthand for NewSim followed by a single Sim.Run; callers that
+// replay a scenario repeatedly should hold the Sim and call Run on it to
+// reuse the validated schedule and preallocated buffers.
 func Run(cfg Config, span units.Duration) (*Report, error) {
 	if span <= 0 {
 		return nil, fmt.Errorf("bannet: non-positive span")
 	}
-	if len(cfg.Nodes) == 0 {
-		return nil, fmt.Errorf("bannet: no nodes")
-	}
-	tdma := cfg.TDMA
-	if tdma == nil {
-		tdma = mac.DefaultTDMA()
-	}
-
-	// Build node states and TDMA demands.
-	states := make([]*nodeState, 0, len(cfg.Nodes))
-	var demands []mac.Demand
-	for _, nc := range cfg.Nodes {
-		if nc.Sensor == nil || nc.Policy == nil || nc.Radio == nil || nc.Battery == nil {
-			return nil, fmt.Errorf("bannet: node %q incompletely specified", nc.Name)
-		}
-		if nc.PacketBits <= 0 {
-			return nil, fmt.Errorf("bannet: node %q has no packet size", nc.Name)
-		}
-		if nc.PER < 0 || nc.PER >= 1 {
-			return nil, fmt.Errorf("bannet: node %q PER %v outside [0,1)", nc.Name, nc.PER)
-		}
-		if nc.Inference != nil && (nc.Inference.MACs <= 0 || nc.Inference.InputBits <= 0) {
-			return nil, fmt.Errorf("bannet: node %q has a degenerate inference spec", nc.Name)
-		}
-		out := nc.Policy.OutputRate(nc.Sensor.DataRate())
-		if out > nc.Radio.Goodput {
-			return nil, fmt.Errorf("bannet: node %q rate %v exceeds radio goodput %v",
-				nc.Name, out, nc.Radio.Goodput)
-		}
-		st := &nodeState{cfg: nc, outRate: out}
-		st.stats.Name = nc.Name
-		if nc.DrainBattery {
-			st.battState = energy.NewState(nc.Battery)
-		}
-		states = append(states, st)
-		// Slot sizing includes retransmission headroom: a link with packet
-		// error rate p needs ≈ 1/(1−p) attempts per delivered packet, plus
-		// 20% margin against burstiness.
-		demand := units.DataRate(float64(out) / (1 - nc.PER) * 1.2)
-		demands = append(demands, mac.Demand{NodeID: nc.ID, Rate: demand, PacketBits: nc.PacketBits})
-	}
-	schedule, err := tdma.Build(demands)
+	sim, err := NewSim(cfg)
 	if err != nil {
 		return nil, err
 	}
-
-	sim := desim.New(cfg.Seed)
-	report := &Report{Schedule: schedule}
-	hubPlatform := cfg.HubCompute
-	if hubPlatform == nil {
-		hubPlatform = partition.HubSoC()
-	}
-	hub := &hubServer{platform: hubPlatform}
-
-	// Packet generation: one event per packet at the node's output rate.
-	for _, st := range states {
-		st := st
-		if st.outRate <= 0 {
-			continue
-		}
-		interval := desim.FromSeconds(float64(st.cfg.PacketBits) / float64(st.outRate))
-		if interval < desim.Microsecond {
-			interval = desim.Microsecond
-		}
-		sim.Every(interval, interval, func() {
-			if st.dead {
-				return
-			}
-			st.queue = append(st.queue, packet{created: sim.Now()})
-			st.stats.PacketsGenerated++
-		})
-	}
-
-	// Superframe processing: at each node's slot, drain up to the slot
-	// capacity with PER-driven retries.
-	superframe := desim.FromSeconds(float64(tdma.Superframe))
-	beaconTime := float64(schedule.BeaconTime)
-	sim.Every(superframe, superframe, func() {
-		for _, st := range states {
-			if st.dead {
-				continue
-			}
-			// Continuous drain (sensing + ISA + sleep floor) plus the
-			// beacon cost debits the battery in DrainBattery mode.
-			syncE := st.cfg.Radio.ActiveRX.Times(units.Duration(beaconTime)) +
-				st.cfg.Radio.WakeEnergy
-			cont := st.continuousPower().Times(units.Duration(superframe.Seconds()))
-			if !st.drain(cont+syncE, sim.Now()) {
-				continue
-			}
-			// Beacon listen: every node wakes and receives the beacon.
-			st.stats.SyncEnergy += syncE
-			slot := schedule.SlotFor(st.cfg.ID)
-			if slot == nil {
-				continue
-			}
-			budget := slot.CapacityBits
-			for len(st.queue) > 0 && budget >= int64(st.cfg.PacketBits) {
-				p := st.queue[0]
-				st.queue = st.queue[1:]
-				budget -= int64(st.cfg.PacketBits)
-				air := st.cfg.Radio.TimeOnAir(st.cfg.PacketBits)
-				txE := st.cfg.Radio.ActiveTX.Times(air)
-				if !st.drain(txE, sim.Now()) {
-					break
-				}
-				st.stats.TxEnergy += txE
-				st.airTime += air
-				st.stats.Transmissions++
-				if sim.Rand().Float64() >= st.cfg.PER {
-					// Delivered.
-					lat := units.Duration((sim.Now() - p.created).Seconds())
-					st.latencies = append(st.latencies, lat)
-					st.stats.PacketsDelivered++
-					st.stats.BitsDelivered += int64(st.cfg.PacketBits)
-					report.HubRxBits += int64(st.cfg.PacketBits)
-					report.HubRxEnergy += st.cfg.Radio.ActiveRX.Times(air)
-					// Assemble inference input windows and dispatch to
-					// the hub NPU queue.
-					if spec := st.cfg.Inference; spec != nil {
-						if st.windowBits == 0 {
-							st.windowStart = p.created
-						}
-						st.windowBits += int64(st.cfg.PacketBits)
-						for st.windowBits >= spec.InputBits {
-							st.windowBits -= spec.InputBits
-							done := hub.enqueue(sim.Now(), st.windowStart, spec.MACs)
-							e2e := units.Duration((done - st.windowStart).Seconds())
-							st.infLat = append(st.infLat, e2e)
-							st.stats.Inferences++
-							st.windowStart = sim.Now()
-						}
-					}
-					continue
-				}
-				// Failed: selective-repeat ARQ — requeue at the back (or
-				// drop past the retry budget) and keep draining the slot.
-				p.retries++
-				if p.retries > st.cfg.MaxRetries {
-					st.stats.PacketsDropped++
-					continue
-				}
-				st.queue = append(st.queue, p)
-			}
-		}
-	})
-
-	// Harvesting: sample each harvester once per simulated second.
-	for _, st := range states {
-		st := st
-		if st.cfg.Harvester == nil {
-			continue
-		}
-		sim.Every(desim.Second, desim.Second, func() {
-			e := st.cfg.Harvester.Sample(sim.Rand()).Times(units.Second)
-			st.stats.Harvested += e
-			if st.battState != nil && !st.dead {
-				st.battState.Recharge(e)
-			}
-		})
-	}
-
-	end := desim.FromSeconds(float64(span))
-	sim.RunUntil(end)
-	report.Duration = span
-	report.Events = sim.Executed()
-
-	// Close the books: continuous power components over each node's
-	// lifespan (the full span, or until battery death).
-	for _, st := range states {
-		s := &st.stats
-		life := span
-		if st.dead {
-			s.Died = true
-			s.DiedAt = units.Duration(st.diedAt.Seconds())
-			life = s.DiedAt
-		}
-		s.SenseEnergy = st.cfg.Sensor.AFEPower.Times(life)
-		s.ISAEnergy = st.cfg.Policy.ComputePower().Times(life)
-		sleepSpan := life - st.airTime
-		if sleepSpan < 0 {
-			sleepSpan = 0
-		}
-		s.SleepEnergy = st.cfg.Radio.Sleep.Times(sleepSpan)
-
-		s.AvgPower = s.TotalEnergy().At(life)
-		s.ProjectedLife = st.cfg.Battery.Lifetime(s.AvgPower)
-		if st.dead && s.DiedAt < s.ProjectedLife {
-			s.ProjectedLife = s.DiedAt
-		}
-		harvestPower := s.Harvested.At(life)
-		s.Perpetual = s.ProjectedLife >= energy.PerpetualLife || harvestPower >= s.AvgPower
-
-		// Latency percentiles.
-		if len(st.latencies) > 0 {
-			sort.Slice(st.latencies, func(i, j int) bool { return st.latencies[i] < st.latencies[j] })
-			s.LatencyP50 = st.latencies[len(st.latencies)/2]
-			s.LatencyP99 = st.latencies[(len(st.latencies)*99)/100]
-		}
-		if len(st.infLat) > 0 {
-			sort.Slice(st.infLat, func(i, j int) bool { return st.infLat[i] < st.infLat[j] })
-			s.InferenceP50 = st.infLat[len(st.infLat)/2]
-			s.InferenceP99 = st.infLat[(len(st.infLat)*99)/100]
-		}
-		report.Nodes = append(report.Nodes, *s)
-	}
-	report.HubComputeEnergy = hub.energy
-	report.HubUtilization = units.Clamp(hub.busyTotal.Seconds()/float64(span), 0, 1)
-	return report, nil
+	return sim.Run(span)
 }
 
 // NodeByName returns the stats for a named node, or nil.

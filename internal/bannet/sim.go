@@ -1,0 +1,395 @@
+package bannet
+
+import (
+	"fmt"
+	"sort"
+
+	"wiban/internal/desim"
+	"wiban/internal/energy"
+	"wiban/internal/mac"
+	"wiban/internal/partition"
+	"wiban/internal/units"
+)
+
+// packet is one queued transfer unit.
+type packet struct {
+	created desim.Time
+	retries int
+}
+
+// packetQueue is a growable ring buffer of packets. The hot loop pushes one
+// packet per generation event and pops one per transmission attempt; the
+// ring keeps both O(1) without the slice-shift churn of a naive queue and
+// retains its capacity across runs of a reused Sim.
+type packetQueue struct {
+	buf  []packet
+	head int
+	n    int
+}
+
+func (q *packetQueue) len() int { return q.n }
+
+func (q *packetQueue) push(p packet) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = p
+	q.n++
+}
+
+func (q *packetQueue) pop() packet {
+	p := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return p
+}
+
+func (q *packetQueue) grow() {
+	nb := make([]packet, max(8, 2*len(q.buf)))
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf, q.head = nb, 0
+}
+
+func (q *packetQueue) reset() { q.head, q.n = 0, 0 }
+
+// nodeState is the runtime state of one node.
+type nodeState struct {
+	cfg       NodeConfig
+	outRate   units.DataRate
+	queue     packetQueue
+	stats     NodeStats
+	latencies []units.Duration
+	airTime   units.Duration // cumulative transmit air time
+	// Inference window assembly.
+	windowBits  int64
+	windowStart desim.Time
+	infLat      []units.Duration
+	// Battery drain (DrainBattery mode).
+	battState *energy.State
+	dead      bool
+	diedAt    desim.Time
+}
+
+// reset returns the node to its pre-run state, keeping allocated buffers.
+func (st *nodeState) reset() {
+	st.queue.reset()
+	st.stats = NodeStats{Name: st.cfg.Name}
+	st.latencies = st.latencies[:0]
+	st.airTime = 0
+	st.windowBits = 0
+	st.windowStart = 0
+	st.infLat = st.infLat[:0]
+	if st.battState != nil {
+		st.battState.Reset()
+	}
+	st.dead = false
+	st.diedAt = 0
+}
+
+// continuousPower is the node's always-on draw: sensing, ISA compute and
+// the radio sleep floor.
+func (st *nodeState) continuousPower() units.Power {
+	return st.cfg.Sensor.AFEPower + st.cfg.Policy.ComputePower() + st.cfg.Radio.Sleep
+}
+
+// drain debits the battery in DrainBattery mode and reports whether the
+// node is still alive.
+func (st *nodeState) drain(e units.Energy, now desim.Time) bool {
+	if st.battState == nil || st.dead {
+		return !st.dead
+	}
+	if !st.battState.Draw(e) || st.battState.Depleted() {
+		st.dead = true
+		st.diedAt = now
+	}
+	return !st.dead
+}
+
+// hubServer is a single-queue deterministic-service inference server.
+type hubServer struct {
+	platform  *partition.Platform
+	busyUntil desim.Time
+	busyTotal desim.Time
+	energy    units.Energy
+}
+
+func (h *hubServer) reset() {
+	h.busyUntil = 0
+	h.busyTotal = 0
+	h.energy = 0
+}
+
+// enqueue admits a job created at start and returns its completion time.
+func (h *hubServer) enqueue(now, start desim.Time, macs int64) desim.Time {
+	service := desim.FromSeconds(float64(macs) / h.platform.MACRate)
+	begin := now
+	if h.busyUntil > begin {
+		begin = h.busyUntil
+	}
+	done := begin + service
+	h.busyUntil = done
+	h.busyTotal += service
+	h.energy += units.Energy(float64(h.platform.EnergyPerMAC) * float64(macs))
+	return done
+}
+
+// Sim is a reusable simulation instance: configuration validation, TDMA
+// schedule construction and node-state allocation happen once in NewSim,
+// and each Run replays the scenario from a clean state. A fleet engine
+// that sweeps seeds or spans over the same scenario, and any benchmark
+// that runs the same network repeatedly, reuses the queues and latency
+// buffers instead of reallocating them per run.
+//
+// A Sim is not safe for concurrent use; run one Sim per goroutine.
+type Sim struct {
+	cfg      Config
+	tdma     *mac.TDMA
+	schedule *mac.Schedule
+	hub      hubServer
+	states   []*nodeState
+}
+
+// NewSim validates the configuration, builds the TDMA schedule and
+// allocates runtime state. The returned Sim can be Run any number of
+// times; each run is independent and deterministic in cfg.Seed.
+func NewSim(cfg Config) (*Sim, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("bannet: no nodes")
+	}
+	tdma := cfg.TDMA
+	if tdma == nil {
+		tdma = mac.DefaultTDMA()
+	}
+
+	// Build node states and TDMA demands.
+	states := make([]*nodeState, 0, len(cfg.Nodes))
+	demands := make([]mac.Demand, 0, len(cfg.Nodes))
+	for _, nc := range cfg.Nodes {
+		if nc.Sensor == nil || nc.Policy == nil || nc.Radio == nil || nc.Battery == nil {
+			return nil, fmt.Errorf("bannet: node %q incompletely specified", nc.Name)
+		}
+		if nc.PacketBits <= 0 {
+			return nil, fmt.Errorf("bannet: node %q has no packet size", nc.Name)
+		}
+		if nc.PER < 0 || nc.PER >= 1 {
+			return nil, fmt.Errorf("bannet: node %q PER %v outside [0,1)", nc.Name, nc.PER)
+		}
+		if nc.Inference != nil && (nc.Inference.MACs <= 0 || nc.Inference.InputBits <= 0) {
+			return nil, fmt.Errorf("bannet: node %q has a degenerate inference spec", nc.Name)
+		}
+		out := nc.Policy.OutputRate(nc.Sensor.DataRate())
+		if out > nc.Radio.Goodput {
+			return nil, fmt.Errorf("bannet: node %q rate %v exceeds radio goodput %v",
+				nc.Name, out, nc.Radio.Goodput)
+		}
+		st := &nodeState{cfg: nc, outRate: out}
+		st.stats.Name = nc.Name
+		if nc.DrainBattery {
+			st.battState = energy.NewState(nc.Battery)
+		}
+		states = append(states, st)
+		// Slot sizing includes retransmission headroom: a link with packet
+		// error rate p needs ≈ 1/(1−p) attempts per delivered packet, plus
+		// 20% margin against burstiness.
+		demand := units.DataRate(float64(out) / (1 - nc.PER) * 1.2)
+		demands = append(demands, mac.Demand{NodeID: nc.ID, Rate: demand, PacketBits: nc.PacketBits})
+	}
+	schedule, err := tdma.Build(demands)
+	if err != nil {
+		return nil, err
+	}
+
+	hubPlatform := cfg.HubCompute
+	if hubPlatform == nil {
+		hubPlatform = partition.HubSoC()
+	}
+	return &Sim{
+		cfg:      cfg,
+		tdma:     tdma,
+		schedule: schedule,
+		hub:      hubServer{platform: hubPlatform},
+		states:   states,
+	}, nil
+}
+
+// Schedule returns the TDMA schedule built for the configuration.
+func (s *Sim) Schedule() *mac.Schedule { return s.schedule }
+
+// SetSeed changes the seed subsequent Runs replay from.
+func (s *Sim) SetSeed(seed int64) { s.cfg.Seed = seed }
+
+// Run simulates the network for the given span from a clean state and
+// returns the report. Runs are independent: the same Sim run twice with
+// the same seed and span produces identical reports.
+func (s *Sim) Run(span units.Duration) (*Report, error) {
+	if span <= 0 {
+		return nil, fmt.Errorf("bannet: non-positive span")
+	}
+	for _, st := range s.states {
+		st.reset()
+	}
+	s.hub.reset()
+
+	sim := desim.New(s.cfg.Seed)
+	report := &Report{Schedule: s.schedule}
+	hub := &s.hub
+	schedule := s.schedule
+
+	// Packet generation: one event per packet at the node's output rate.
+	for _, st := range s.states {
+		st := st
+		if st.outRate <= 0 {
+			continue
+		}
+		interval := desim.FromSeconds(float64(st.cfg.PacketBits) / float64(st.outRate))
+		if interval < desim.Microsecond {
+			interval = desim.Microsecond
+		}
+		sim.Every(interval, interval, func() {
+			if st.dead {
+				return
+			}
+			st.queue.push(packet{created: sim.Now()})
+			st.stats.PacketsGenerated++
+		})
+	}
+
+	// Superframe processing: at each node's slot, drain up to the slot
+	// capacity with PER-driven retries.
+	superframe := desim.FromSeconds(float64(s.tdma.Superframe))
+	beaconTime := float64(schedule.BeaconTime)
+	sim.Every(superframe, superframe, func() {
+		for _, st := range s.states {
+			if st.dead {
+				continue
+			}
+			// Continuous drain (sensing + ISA + sleep floor) plus the
+			// beacon cost debits the battery in DrainBattery mode.
+			syncE := st.cfg.Radio.ActiveRX.Times(units.Duration(beaconTime)) +
+				st.cfg.Radio.WakeEnergy
+			cont := st.continuousPower().Times(units.Duration(superframe.Seconds()))
+			if !st.drain(cont+syncE, sim.Now()) {
+				continue
+			}
+			// Beacon listen: every node wakes and receives the beacon.
+			st.stats.SyncEnergy += syncE
+			slot := schedule.SlotFor(st.cfg.ID)
+			if slot == nil {
+				continue
+			}
+			budget := slot.CapacityBits
+			for st.queue.len() > 0 && budget >= int64(st.cfg.PacketBits) {
+				p := st.queue.pop()
+				budget -= int64(st.cfg.PacketBits)
+				air := st.cfg.Radio.TimeOnAir(st.cfg.PacketBits)
+				txE := st.cfg.Radio.ActiveTX.Times(air)
+				if !st.drain(txE, sim.Now()) {
+					break
+				}
+				st.stats.TxEnergy += txE
+				st.airTime += air
+				st.stats.Transmissions++
+				if sim.Rand().Float64() >= st.cfg.PER {
+					// Delivered.
+					lat := units.Duration((sim.Now() - p.created).Seconds())
+					st.latencies = append(st.latencies, lat)
+					st.stats.PacketsDelivered++
+					st.stats.BitsDelivered += int64(st.cfg.PacketBits)
+					report.HubRxBits += int64(st.cfg.PacketBits)
+					report.HubRxEnergy += st.cfg.Radio.ActiveRX.Times(air)
+					// Assemble inference input windows and dispatch to
+					// the hub NPU queue.
+					if spec := st.cfg.Inference; spec != nil {
+						if st.windowBits == 0 {
+							st.windowStart = p.created
+						}
+						st.windowBits += int64(st.cfg.PacketBits)
+						for st.windowBits >= spec.InputBits {
+							st.windowBits -= spec.InputBits
+							done := hub.enqueue(sim.Now(), st.windowStart, spec.MACs)
+							e2e := units.Duration((done - st.windowStart).Seconds())
+							st.infLat = append(st.infLat, e2e)
+							st.stats.Inferences++
+							st.windowStart = sim.Now()
+						}
+					}
+					continue
+				}
+				// Failed: selective-repeat ARQ — requeue at the back (or
+				// drop past the retry budget) and keep draining the slot.
+				p.retries++
+				if p.retries > st.cfg.MaxRetries {
+					st.stats.PacketsDropped++
+					continue
+				}
+				st.queue.push(p)
+			}
+		}
+	})
+
+	// Harvesting: sample each harvester once per simulated second.
+	for _, st := range s.states {
+		st := st
+		if st.cfg.Harvester == nil {
+			continue
+		}
+		sim.Every(desim.Second, desim.Second, func() {
+			e := st.cfg.Harvester.Sample(sim.Rand()).Times(units.Second)
+			st.stats.Harvested += e
+			if st.battState != nil && !st.dead {
+				st.battState.Recharge(e)
+			}
+		})
+	}
+
+	end := desim.FromSeconds(float64(span))
+	sim.RunUntil(end)
+	report.Duration = span
+	report.Events = sim.Executed()
+
+	// Close the books: continuous power components over each node's
+	// lifespan (the full span, or until battery death).
+	report.Nodes = make([]NodeStats, 0, len(s.states))
+	for _, st := range s.states {
+		stats := &st.stats
+		life := span
+		if st.dead {
+			stats.Died = true
+			stats.DiedAt = units.Duration(st.diedAt.Seconds())
+			life = stats.DiedAt
+		}
+		stats.SenseEnergy = st.cfg.Sensor.AFEPower.Times(life)
+		stats.ISAEnergy = st.cfg.Policy.ComputePower().Times(life)
+		sleepSpan := life - st.airTime
+		if sleepSpan < 0 {
+			sleepSpan = 0
+		}
+		stats.SleepEnergy = st.cfg.Radio.Sleep.Times(sleepSpan)
+
+		stats.AvgPower = stats.TotalEnergy().At(life)
+		stats.ProjectedLife = st.cfg.Battery.Lifetime(stats.AvgPower)
+		if st.dead && stats.DiedAt < stats.ProjectedLife {
+			stats.ProjectedLife = stats.DiedAt
+		}
+		harvestPower := stats.Harvested.At(life)
+		stats.Perpetual = stats.ProjectedLife >= energy.PerpetualLife || harvestPower >= stats.AvgPower
+
+		// Latency percentiles.
+		if len(st.latencies) > 0 {
+			sort.Slice(st.latencies, func(i, j int) bool { return st.latencies[i] < st.latencies[j] })
+			stats.LatencyP50 = st.latencies[len(st.latencies)/2]
+			stats.LatencyP99 = st.latencies[(len(st.latencies)*99)/100]
+		}
+		if len(st.infLat) > 0 {
+			sort.Slice(st.infLat, func(i, j int) bool { return st.infLat[i] < st.infLat[j] })
+			stats.InferenceP50 = st.infLat[len(st.infLat)/2]
+			stats.InferenceP99 = st.infLat[(len(st.infLat)*99)/100]
+		}
+		report.Nodes = append(report.Nodes, *stats)
+	}
+	report.HubComputeEnergy = hub.energy
+	report.HubUtilization = units.Clamp(hub.busyTotal.Seconds()/float64(span), 0, 1)
+	return report, nil
+}

@@ -106,6 +106,25 @@ func New(seed int64) *Simulator {
 	return &Simulator{rng: rand.New(rand.NewSource(seed))}
 }
 
+// DeriveSeed expands one base seed into a family of decorrelated child
+// seeds, one per stream index, using the splitmix64 finalizer. A fleet of
+// independent simulations derives each member's seed as
+// DeriveSeed(fleetSeed, member), which keeps every member reproducible
+// from the single fleet seed while nearby indices (0, 1, 2, …) land on
+// statistically unrelated RNG streams — sequential seeds fed straight to
+// math/rand would correlate.
+//
+// The mapping is pure and stable: it is part of the replayability contract
+// (recorded fleet fingerprints depend on it), so it must never change.
+func DeriveSeed(base int64, stream uint64) int64 {
+	// splitmix64: golden-gamma increment then two xor-multiply finalizer
+	// rounds (Steele, Lea & Flood, OOPSLA 2014).
+	z := uint64(base) + 0x9e3779b97f4a7c15*(stream+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
 // Now returns the current virtual time.
 func (s *Simulator) Now() Time { return s.now }
 

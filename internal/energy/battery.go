@@ -155,6 +155,13 @@ func NewState(b *Battery) *State {
 // Battery returns the underlying cell.
 func (s *State) Battery() *Battery { return s.batt }
 
+// Reset refills the battery to full and clears the drain accounting, so a
+// simulator can reuse the state across runs without reallocating.
+func (s *State) Reset() {
+	s.remaining = s.batt.UsableEnergy()
+	s.drained = 0
+}
+
 // Remaining returns the energy left.
 func (s *State) Remaining() units.Energy { return s.remaining }
 

@@ -1,0 +1,177 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"wiban/internal/bannet"
+	"wiban/internal/units"
+)
+
+// Dist summarizes a population sample: count, range, mean and the
+// percentiles the paper's figures care about. Percentile indexing matches
+// bannet's per-node convention (index ⌊n·p/100⌋ of the sorted sample).
+type Dist struct {
+	N                  int
+	Min, Max, Mean     float64
+	P10, P50, P90, P99 float64
+}
+
+// NewDist summarizes samples. The slice is sorted in place; an empty
+// sample yields the zero Dist.
+func NewDist(samples []float64) Dist {
+	if len(samples) == 0 {
+		return Dist{}
+	}
+	// Sum before sorting so the mean reflects the caller's (wearer-index)
+	// order — a fixed order is what makes the aggregate bit-reproducible.
+	var sum float64
+	for _, s := range samples {
+		sum += s
+	}
+	sort.Float64s(samples)
+	n := len(samples)
+	return Dist{
+		N:    n,
+		Min:  samples[0],
+		Max:  samples[n-1],
+		Mean: sum / float64(n),
+		P10:  samples[(n*10)/100],
+		P50:  samples[n/2],
+		P90:  samples[(n*90)/100],
+		P99:  samples[(n*99)/100],
+	}
+}
+
+func (d Dist) String() string {
+	if d.N == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("p10 %.3g / p50 %.3g / p90 %.3g / p99 %.3g (mean %.3g, range %.3g–%.3g, n=%d)",
+		d.P10, d.P50, d.P90, d.P99, d.Mean, d.Min, d.Max, d.N)
+}
+
+// Report is the fleet-level aggregate of a population sweep. Every field
+// is a pure function of the per-wearer reports taken in wearer-index
+// order, so two runs of the same fleet seed produce byte-identical
+// reports regardless of worker count — Fingerprint pins that.
+type Report struct {
+	Wearers int
+	// Nodes is the total leaf-node count across the fleet (node-count mix
+	// makes it a non-trivial multiple of Wearers).
+	Nodes int
+	Span  units.Duration
+	// Events is the total discrete-event count across all shards.
+	Events uint64
+
+	// Fleet-wide traffic totals.
+	PacketsGenerated int64
+	PacketsDelivered int64
+	PacketsDropped   int64
+	Transmissions    int64
+	BitsDelivered    int64
+	HubRxBits        int64
+
+	// Per-node population distributions.
+	DeliveryRate     Dist // delivered/generated per node
+	BatteryLifeHours Dist // projected battery life per node, in hours
+	LatencyP50ms     Dist // per-node p50 delivery latency, in milliseconds
+	LatencyP99ms     Dist // per-node p99 delivery latency, in milliseconds
+
+	// Per-wearer hub utilization distribution.
+	HubUtilization Dist
+
+	// PerpetualFraction is the fraction of nodes meeting the paper's
+	// perpetual-operation criterion; DiedFraction the fraction whose
+	// battery died mid-run (DrainBattery scenarios).
+	PerpetualFraction float64
+	DiedFraction      float64
+}
+
+// Aggregate merges per-wearer reports (indexed by wearer) into the fleet
+// report. It iterates in slice order, which callers must keep equal to
+// wearer-index order for reproducibility.
+func Aggregate(span units.Duration, reports []*bannet.Report) *Report {
+	rep := &Report{Wearers: len(reports), Span: span}
+	var (
+		delivery  []float64
+		lifeHours []float64
+		latP50    []float64
+		latP99    []float64
+		hubUtil   []float64
+		perpetual int
+		died      int
+	)
+	for _, r := range reports {
+		rep.Events += r.Events
+		rep.HubRxBits += r.HubRxBits
+		hubUtil = append(hubUtil, r.HubUtilization)
+		for i := range r.Nodes {
+			n := &r.Nodes[i]
+			rep.Nodes++
+			rep.PacketsGenerated += n.PacketsGenerated
+			rep.PacketsDelivered += n.PacketsDelivered
+			rep.PacketsDropped += n.PacketsDropped
+			rep.Transmissions += n.Transmissions
+			rep.BitsDelivered += n.BitsDelivered
+			delivery = append(delivery, n.DeliveryRate())
+			lifeHours = append(lifeHours, float64(n.ProjectedLife)/float64(units.Hour))
+			if n.PacketsDelivered > 0 {
+				latP50 = append(latP50, float64(n.LatencyP50)*1e3)
+				latP99 = append(latP99, float64(n.LatencyP99)*1e3)
+			}
+			if n.Perpetual {
+				perpetual++
+			}
+			if n.Died {
+				died++
+			}
+		}
+	}
+	rep.DeliveryRate = NewDist(delivery)
+	rep.BatteryLifeHours = NewDist(lifeHours)
+	rep.LatencyP50ms = NewDist(latP50)
+	rep.LatencyP99ms = NewDist(latP99)
+	rep.HubUtilization = NewDist(hubUtil)
+	if rep.Nodes > 0 {
+		rep.PerpetualFraction = float64(perpetual) / float64(rep.Nodes)
+		rep.DiedFraction = float64(died) / float64(rep.Nodes)
+	}
+	return rep
+}
+
+// Fingerprint returns a stable hex digest of the whole report. Two fleet
+// runs agree byte-for-byte iff their fingerprints match; the determinism
+// and parallelism-invariance tests compare these.
+func (r *Report) Fingerprint() string {
+	blob, err := json.Marshal(r)
+	if err != nil {
+		// Report is a plain value type; Marshal cannot fail on it.
+		panic(fmt.Sprintf("fleet: fingerprint: %v", err))
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
+}
+
+// String renders a multi-line summary for CLI output.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d wearers, %d nodes, %v simulated each (%d events total)\n",
+		r.Wearers, r.Nodes, r.Span, r.Events)
+	fmt.Fprintf(&b, "  traffic:   %d generated, %d delivered, %d dropped (%d tx attempts)\n",
+		r.PacketsGenerated, r.PacketsDelivered, r.PacketsDropped, r.Transmissions)
+	fmt.Fprintf(&b, "  delivered: %.2f MB to hubs (%.2f MB payload)\n",
+		float64(r.HubRxBits)/8e6, float64(r.BitsDelivered)/8e6)
+	fmt.Fprintf(&b, "  delivery rate:    %v\n", r.DeliveryRate)
+	fmt.Fprintf(&b, "  battery life [h]: %v\n", r.BatteryLifeHours)
+	fmt.Fprintf(&b, "  p50 latency [ms]: %v\n", r.LatencyP50ms)
+	fmt.Fprintf(&b, "  p99 latency [ms]: %v\n", r.LatencyP99ms)
+	fmt.Fprintf(&b, "  hub utilization:  %v\n", r.HubUtilization)
+	fmt.Fprintf(&b, "  perpetual nodes:  %.1f%%   died mid-run: %.1f%%",
+		r.PerpetualFraction*100, r.DiedFraction*100)
+	return b.String()
+}

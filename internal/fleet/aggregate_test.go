@@ -1,0 +1,84 @@
+package fleet
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"wiban/internal/bannet"
+	"wiban/internal/units"
+)
+
+// TestDist checks the summary statistics on a known sample.
+func TestDist(t *testing.T) {
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = float64(99 - i) // reversed, so NewDist must sort
+	}
+	d := NewDist(samples)
+	if d.N != 100 || d.Min != 0 || d.Max != 99 {
+		t.Fatalf("N/Min/Max = %d/%v/%v", d.N, d.Min, d.Max)
+	}
+	if d.Mean != 49.5 {
+		t.Errorf("Mean = %v, want 49.5", d.Mean)
+	}
+	if d.P10 != 10 || d.P50 != 50 || d.P90 != 90 || d.P99 != 99 {
+		t.Errorf("percentiles = %v/%v/%v/%v, want 10/50/90/99", d.P10, d.P50, d.P90, d.P99)
+	}
+	if zero := NewDist(nil); zero.N != 0 || zero.String() != "n=0" {
+		t.Errorf("empty Dist = %+v (%q)", zero, zero.String())
+	}
+}
+
+// TestAggregate merges two hand-built reports and checks every derived
+// figure.
+func TestAggregate(t *testing.T) {
+	r1 := &bannet.Report{
+		Events: 100, HubRxBits: 8000, HubUtilization: 0.5,
+		Nodes: []bannet.NodeStats{
+			{Name: "a", PacketsGenerated: 10, PacketsDelivered: 9, PacketsDropped: 1,
+				Transmissions: 12, BitsDelivered: 9000, ProjectedLife: 2 * units.Hour,
+				LatencyP50: 10 * units.Millisecond, LatencyP99: 20 * units.Millisecond,
+				Perpetual: true},
+		},
+	}
+	r2 := &bannet.Report{
+		Events: 50, HubRxBits: 4000, HubUtilization: 0.25,
+		Nodes: []bannet.NodeStats{
+			{Name: "b", PacketsGenerated: 4, PacketsDelivered: 2, PacketsDropped: 2,
+				Transmissions: 6, BitsDelivered: 2000, ProjectedLife: 4 * units.Hour,
+				LatencyP50: 30 * units.Millisecond, LatencyP99: 40 * units.Millisecond,
+				Died: true},
+			{Name: "idle", ProjectedLife: 6 * units.Hour}, // no traffic: excluded from latency dists
+		},
+	}
+	rep := Aggregate(units.Minute, []*bannet.Report{r1, r2})
+	if rep.Wearers != 2 || rep.Nodes != 3 || rep.Events != 150 || rep.HubRxBits != 12000 {
+		t.Fatalf("headline: %+v", rep)
+	}
+	if rep.PacketsGenerated != 14 || rep.PacketsDelivered != 11 ||
+		rep.PacketsDropped != 3 || rep.Transmissions != 18 || rep.BitsDelivered != 11000 {
+		t.Fatalf("traffic totals: %+v", rep)
+	}
+	if rep.DeliveryRate.N != 3 || rep.DeliveryRate.Min != 0.5 || rep.DeliveryRate.Max != 1 {
+		t.Errorf("delivery dist: %+v", rep.DeliveryRate)
+	}
+	if rep.LatencyP50ms.N != 2 || rep.LatencyP50ms.Min != 10 || rep.LatencyP50ms.Max != 30 {
+		t.Errorf("latency p50 dist: %+v", rep.LatencyP50ms)
+	}
+	if rep.BatteryLifeHours.Min != 2 || rep.BatteryLifeHours.Max != 6 {
+		t.Errorf("battery dist: %+v", rep.BatteryLifeHours)
+	}
+	if math.Abs(rep.PerpetualFraction-1.0/3) > 1e-12 || math.Abs(rep.DiedFraction-1.0/3) > 1e-12 {
+		t.Errorf("fractions: perpetual %v died %v", rep.PerpetualFraction, rep.DiedFraction)
+	}
+	if rep.HubUtilization.Mean != 0.375 {
+		t.Errorf("hub utilization mean = %v", rep.HubUtilization.Mean)
+	}
+	if s := rep.String(); !strings.Contains(s, "2 wearers, 3 nodes") {
+		t.Errorf("String() = %q", s)
+	}
+	if len(rep.Fingerprint()) != 64 {
+		t.Errorf("fingerprint length %d", len(rep.Fingerprint()))
+	}
+}

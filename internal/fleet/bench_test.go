@@ -1,0 +1,74 @@
+package fleet
+
+// Fleet-engine benchmarks: population sweeps at 1, 4 and NumCPU workers.
+// The headline metrics are runs/s (wearer simulations per second) and
+// events/s (discrete events per second across all shards); BENCH_fleet.json
+// at the repo root records a baseline.
+
+import (
+	"runtime"
+	"testing"
+
+	"wiban/internal/units"
+)
+
+// benchFleet sweeps 200 wearers × 60 simulated seconds.
+func benchFleet(b *testing.B, workers int) {
+	b.Helper()
+	f := testFleet(200, workers, 42)
+	f.Span = 60 * units.Second
+	b.ReportAllocs()
+	var last Perf
+	for i := 0; i < b.N; i++ {
+		_, perf, err := f.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = perf
+	}
+	b.ReportMetric(last.RunsPerSec, "runs/s")
+	b.ReportMetric(last.EventsPerSec, "events/s")
+}
+
+func BenchmarkFleetWorkers1(b *testing.B) { benchFleet(b, 1) }
+func BenchmarkFleetWorkers4(b *testing.B) { benchFleet(b, 4) }
+func BenchmarkFleetWorkersNumCPU(b *testing.B) {
+	b.Logf("NumCPU = %d", runtime.NumCPU())
+	benchFleet(b, runtime.NumCPU())
+}
+
+// TestFleetParallelSpeedup asserts the acceptance criterion on machines
+// with enough cores: the NumCPU-worker sweep of 1,000 wearers runs >2×
+// faster than the serial sweep. Below 4 cores there is nothing to
+// measure, so the test skips.
+func TestFleetParallelSpeedup(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need ≥4 cores for a speedup claim, have %d", runtime.NumCPU())
+	}
+	if testing.Short() {
+		t.Skip("timing test in -short mode")
+	}
+	mk := func(workers int) *Fleet {
+		f := testFleet(1000, workers, 42)
+		f.Span = 60 * units.Second
+		return f
+	}
+	// Warm up once so first-touch allocation noise lands outside the
+	// measured runs.
+	if _, _, err := mk(1).Run(); err != nil {
+		t.Fatal(err)
+	}
+	_, serial, err := mk(1).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, parallel, err := mk(runtime.NumCPU()).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := serial.Elapsed.Seconds() / parallel.Elapsed.Seconds()
+	t.Logf("serial %v, parallel %v on %d workers → %.2fx", serial.Elapsed, parallel.Elapsed, parallel.Workers, speedup)
+	if speedup <= 2 {
+		t.Errorf("speedup %.2fx on %d cores, want > 2x", speedup, runtime.NumCPU())
+	}
+}

@@ -1,0 +1,165 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wiban/internal/bannet"
+	"wiban/internal/energy"
+	"wiban/internal/isa"
+	"wiban/internal/radio"
+	"wiban/internal/sensors"
+	"wiban/internal/units"
+)
+
+// Generator perturbs a base network configuration across a diverse wearer
+// population: no two bodies have the same channel loss, battery wear,
+// harvesting opportunity or device mix. All randomness comes from the
+// per-wearer RNG the engine hands the scenario, so a population is a pure
+// function of the fleet seed.
+type Generator struct {
+	// Base is the template network. Node slices are copied per wearer;
+	// the shared pointers inside (sensors, policies, radios) are treated
+	// as read-only.
+	Base bannet.Config
+
+	// PERSpread jitters each node's packet error rate by a uniform
+	// multiplicative factor in [1-PERSpread, 1+PERSpread] (clamped to a
+	// sane PER range). 0 disables; 0.5 models a 2x-ish body-channel
+	// spread across postures and physiologies.
+	PERSpread float64
+
+	// BatterySpread scales each node's battery capacity by a uniform
+	// factor in [1-BatterySpread, 1+BatterySpread], modeling cell aging
+	// and size variants. 0 disables.
+	BatterySpread float64
+
+	// HarvesterProb is the probability that a node without a harvester
+	// gains one (drawn uniformly from the energy harvester catalog).
+	HarvesterProb float64
+
+	// DropNodeProb thins the device mix: every node after the first is
+	// independently absent with this probability (nobody wears every
+	// device every day). The first node always remains so a wearer is
+	// never empty.
+	DropNodeProb float64
+
+	// BLEFraction is the fraction of wearers using BLE 4.2 radios instead
+	// of the base radios. Nodes whose stream exceeds the BLE goodput keep
+	// their base radio (a camera cannot fall back to BLE).
+	BLEFraction float64
+
+	// DrainBattery switches every node to in-run battery accounting so
+	// the fleet report's DiedFraction is meaningful.
+	DrainBattery bool
+}
+
+// Validate rejects out-of-range spread parameters.
+func (g *Generator) Validate() error {
+	if len(g.Base.Nodes) == 0 {
+		return fmt.Errorf("fleet: generator has no base nodes")
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"PERSpread", g.PERSpread},
+		{"BatterySpread", g.BatterySpread},
+		{"HarvesterProb", g.HarvesterProb},
+		{"DropNodeProb", g.DropNodeProb},
+		{"BLEFraction", g.BLEFraction},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("fleet: generator %s %v outside [0,1]", p.name, p.v)
+		}
+	}
+	if g.BatterySpread >= 1 {
+		return fmt.Errorf("fleet: BatterySpread %v leaves no capacity at the low end", g.BatterySpread)
+	}
+	return nil
+}
+
+// spread returns a uniform multiplicative factor in [1-s, 1+s].
+func spread(rng *rand.Rand, s float64) float64 {
+	if s <= 0 {
+		return 1
+	}
+	return 1 + s*(2*rng.Float64()-1)
+}
+
+// Scenario compiles the generator into the engine's scenario function.
+// Validation happens once here, not per wearer; an invalid generator
+// yields a scenario that fails on first use.
+func (g *Generator) Scenario() Scenario {
+	if err := g.Validate(); err != nil {
+		return func(int, *rand.Rand) (bannet.Config, error) { return bannet.Config{}, err }
+	}
+	harvesters := energy.Harvesters()
+	return func(wearer int, rng *rand.Rand) (bannet.Config, error) {
+		cfg := g.Base // shallow copy; Nodes rebuilt below
+		cfg.Nodes = nil
+		useBLE := rng.Float64() < g.BLEFraction
+		for i, base := range g.Base.Nodes {
+			// Device mix: keep the first node, drop later ones at random.
+			// The coin is flipped for every node so the RNG consumption —
+			// and therefore everything downstream — does not depend on
+			// which nodes happen to remain.
+			drop := rng.Float64() < g.DropNodeProb
+			per := units.Clamp(base.PER*spread(rng, g.PERSpread), 0, 0.5)
+			battScale := spread(rng, g.BatterySpread)
+			harvestRoll := rng.Float64()
+			harvestPick := rng.Intn(len(harvesters))
+			if i > 0 && drop {
+				continue
+			}
+
+			nc := base // copy; the shared Sensor/Policy pointers stay read-only
+			nc.PER = per
+			if useBLE {
+				ble := radio.BLE42()
+				if nc.Policy.OutputRate(nc.Sensor.DataRate()) <= ble.Goodput {
+					nc.Radio = ble
+				}
+			}
+			if g.BatterySpread > 0 && nc.Battery != nil {
+				batt := *nc.Battery // clone before scaling a shared cell
+				batt.CapacityMAh *= battScale
+				nc.Battery = &batt
+			}
+			if nc.Harvester == nil && harvestRoll < g.HarvesterProb {
+				nc.Harvester = harvesters[harvestPick]
+			}
+			if g.DrainBattery {
+				nc.DrainBattery = true
+			}
+			cfg.Nodes = append(cfg.Nodes, nc)
+		}
+		return cfg, nil
+	}
+}
+
+// DefaultBase returns the stock heterogeneous BAN used by cmd/iobfleet
+// and the fleet benchmarks: an ECG patch, an IMU band with indoor-PV
+// harvesting, and an ADPCM voice mic, all on Wi-R. It mirrors the
+// cmd/iobsim scenario minus the camera (whose 1.15 Mbps stream would bar
+// the BLE arm of a population sweep).
+func DefaultBase() bannet.Config {
+	return bannet.Config{Nodes: []bannet.NodeConfig{
+		{
+			ID: 1, Name: "ecg-patch", Sensor: sensors.ECGPatch(), Policy: isa.StreamAll{},
+			Radio: radio.WiR(), Battery: energy.Fig3Battery(),
+			PacketBits: 1024, PER: 0.01, MaxRetries: 5,
+		},
+		{
+			ID: 2, Name: "imu-band", Sensor: sensors.IMU6Axis(), Policy: isa.StreamAll{},
+			Radio: radio.WiR(), Battery: energy.CR2032(), Harvester: energy.IndoorPV(),
+			PacketBits: 1024, PER: 0.02, MaxRetries: 5,
+		},
+		{
+			ID: 3, Name: "voice-mic", Sensor: sensors.MicMono(),
+			Policy: isa.Compress{Label: "ADPCM", MeasuredRatio: 4, Power: 20 * units.Microwatt},
+			Radio:  radio.WiR(), Battery: energy.Fig3Battery(),
+			PacketBits: 4096, PER: 0.02, MaxRetries: 4,
+		},
+	}}
+}

@@ -1,0 +1,168 @@
+package fleet
+
+import (
+	"math/rand"
+	"testing"
+
+	"wiban/internal/radio"
+)
+
+func wearerRNG(seed int64, wearer uint64) *rand.Rand {
+	return rand.New(rand.NewSource(int64(wearer)*7919 + seed))
+}
+
+// TestGeneratorExtremes drives each perturbation axis at its limit, where
+// behavior is exactly predictable.
+func TestGeneratorExtremes(t *testing.T) {
+	base := DefaultBase()
+
+	t.Run("drop-all keeps primary node", func(t *testing.T) {
+		g := &Generator{Base: base, DropNodeProb: 1}
+		cfg, err := g.Scenario()(0, wearerRNG(1, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cfg.Nodes) != 1 || cfg.Nodes[0].Name != base.Nodes[0].Name {
+			t.Fatalf("nodes = %d, want only the primary %q", len(cfg.Nodes), base.Nodes[0].Name)
+		}
+	})
+
+	t.Run("full BLE fraction swaps fitting radios", func(t *testing.T) {
+		g := &Generator{Base: base, BLEFraction: 1}
+		cfg, err := g.Scenario()(0, wearerRNG(2, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range cfg.Nodes {
+			fits := n.Policy.OutputRate(n.Sensor.DataRate()) <= radio.BLE42().Goodput
+			isBLE := n.Radio.Tech == radio.TechRF
+			if fits != isBLE {
+				t.Errorf("node %s: BLE fit=%v but got tech %v", n.Name, fits, n.Radio.Tech)
+			}
+		}
+	})
+
+	t.Run("harvester prob 1 equips every node", func(t *testing.T) {
+		g := &Generator{Base: base, HarvesterProb: 1}
+		cfg, err := g.Scenario()(0, wearerRNG(3, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range cfg.Nodes {
+			if n.Harvester == nil {
+				t.Errorf("node %s left without a harvester", n.Name)
+			}
+		}
+	})
+
+	t.Run("zero spreads reproduce the base", func(t *testing.T) {
+		g := &Generator{Base: base}
+		cfg, err := g.Scenario()(0, wearerRNG(4, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cfg.Nodes) != len(base.Nodes) {
+			t.Fatalf("nodes = %d, want %d", len(cfg.Nodes), len(base.Nodes))
+		}
+		for i, n := range cfg.Nodes {
+			b := base.Nodes[i]
+			if n.PER != b.PER || n.Battery != b.Battery || n.Radio != b.Radio {
+				t.Errorf("node %s perturbed with all spreads zero", n.Name)
+			}
+		}
+	})
+}
+
+// TestGeneratorSpreadsBounded samples many wearers and checks every
+// perturbed parameter lands inside its documented envelope.
+func TestGeneratorSpreadsBounded(t *testing.T) {
+	base := DefaultBase()
+	g := &Generator{Base: base, PERSpread: 0.5, BatterySpread: 0.3, DrainBattery: true}
+	scen := g.Scenario()
+	byName := map[string]int{}
+	for i, n := range base.Nodes {
+		byName[n.Name] = i
+	}
+	sawPERVariation := false
+	for w := 0; w < 200; w++ {
+		cfg, err := scen(w, wearerRNG(9, uint64(w)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range cfg.Nodes {
+			b := base.Nodes[byName[n.Name]]
+			if n.PER < b.PER*0.5-1e-12 || n.PER > b.PER*1.5+1e-12 {
+				t.Fatalf("wearer %d node %s PER %v outside ±50%% of %v", w, n.Name, n.PER, b.PER)
+			}
+			if n.PER != b.PER {
+				sawPERVariation = true
+			}
+			lo, hi := b.Battery.CapacityMAh*0.7, b.Battery.CapacityMAh*1.3
+			if n.Battery.CapacityMAh < lo-1e-9 || n.Battery.CapacityMAh > hi+1e-9 {
+				t.Fatalf("wearer %d node %s capacity %v outside [%v,%v]",
+					w, n.Name, n.Battery.CapacityMAh, lo, hi)
+			}
+			if n.Battery == b.Battery {
+				t.Fatalf("wearer %d node %s shares the base battery despite scaling", w, n.Name)
+			}
+			if !n.DrainBattery {
+				t.Fatalf("wearer %d node %s missing DrainBattery", w, n.Name)
+			}
+		}
+	}
+	if !sawPERVariation {
+		t.Fatal("PER spread produced no variation over 200 wearers")
+	}
+}
+
+// TestGeneratorValidate covers parameter-range rejection.
+func TestGeneratorValidate(t *testing.T) {
+	base := DefaultBase()
+	bad := []Generator{
+		{Base: base, PERSpread: -0.1},
+		{Base: base, BLEFraction: 1.5},
+		{Base: base, BatterySpread: 1},
+		{},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, g)
+		}
+		if _, err := g.Scenario()(0, wearerRNG(1, 0)); err == nil {
+			t.Errorf("case %d: Scenario accepted %+v", i, g)
+		}
+	}
+	good := Generator{Base: base, PERSpread: 1, BatterySpread: 0.99, HarvesterProb: 1, DropNodeProb: 1, BLEFraction: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate rejected boundary parameters: %v", err)
+	}
+}
+
+// TestGeneratorRNGConsumptionStable checks dropping a node does not shift
+// the randomness consumed for its successors: the generator burns a fixed
+// number of draws per base node, so two generators that differ only in
+// DropNodeProb agree on every parameter of the nodes both keep.
+func TestGeneratorRNGConsumptionStable(t *testing.T) {
+	base := DefaultBase()
+	keepAll := (&Generator{Base: base, PERSpread: 0.5}).Scenario()
+	dropAll := (&Generator{Base: base, PERSpread: 0.5, DropNodeProb: 1}).Scenario()
+	for w := uint64(0); w < 64; w++ {
+		a, err := keepAll(int(w), wearerRNG(11, w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := dropAll(int(w), wearerRNG(11, w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b.Nodes) != 1 {
+			t.Fatalf("wearer %d: drop-all kept %d nodes", w, len(b.Nodes))
+		}
+		// The surviving primary node must be parameterized identically:
+		// the later nodes' presence or absence consumed the same draws.
+		if a.Nodes[0].PER != b.Nodes[0].PER {
+			t.Fatalf("wearer %d: node mix shifted the primary node's PER draw (%v vs %v)",
+				w, a.Nodes[0].PER, b.Nodes[0].PER)
+		}
+	}
+}
