@@ -8,10 +8,22 @@
 //	iobfleet -wearers 1000 -dur 600                  # 1000 wearers, 10 min each
 //	iobfleet -wearers 1000 -workers 1                # force serial (invariance check)
 //	iobfleet -wearers 500 -ble-frac 0.5 -drain       # half the fleet on BLE, live batteries
+//	iobfleet -wearers 1000000 -out sweep.wtl         # stream records to a telemetry store
+//	iobfleet -wearers 1000000 -out sweep.wtl -resume # continue a killed sweep
 //
 // The aggregate report is a pure function of -seed: reruns with any
 // -workers value print identical statistics (only the throughput line
-// varies), and the fingerprint line makes that easy to diff.
+// varies), and the fingerprint line makes that easy to diff. Aggregation
+// streams: memory stays bounded by the worker count, not the population.
+//
+// With -out, every wearer's record is also appended to a telemetry store
+// (block-compressed, CRC-protected, checkpointed — see
+// wiban/internal/telemetry). If the sweep is killed, rerunning with
+// -resume and the same flags restores the checkpoint, replays the
+// committed records through the aggregator, and simulates only the
+// remaining wearers; the final report and fingerprint are bit-identical
+// to an uninterrupted run. Inspect, verify or re-aggregate a store with
+// the iobtrace command.
 package main
 
 import (
@@ -20,6 +32,7 @@ import (
 	"os"
 
 	"wiban/internal/fleet"
+	"wiban/internal/telemetry"
 	"wiban/internal/units"
 )
 
@@ -36,8 +49,17 @@ func main() {
 		dropProb   = flag.Float64("drop-prob", 0.25, "probability each non-primary node is absent")
 		bleFrac    = flag.Float64("ble-frac", 0.25, "fraction of wearers on BLE 4.2 radios")
 		drain      = flag.Bool("drain", false, "enable in-run battery drain and node death")
+
+		outPath   = flag.String("out", "", "stream per-wearer records to a telemetry store at this path")
+		resume    = flag.Bool("resume", false, "resume the interrupted sweep checkpointed in -out")
+		force     = flag.Bool("force", false, "allow -out to overwrite an existing telemetry store")
+		blockSize = flag.Int("block-size", 0, "telemetry records per committed block (0 = default)")
 	)
 	flag.Parse()
+	fail := func(code int, format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "iobfleet: "+format+"\n", args...)
+		os.Exit(code)
+	}
 
 	gen := &fleet.Generator{
 		Base:          fleet.DefaultBase(),
@@ -49,8 +71,7 @@ func main() {
 		DrainBattery:  *drain,
 	}
 	if err := gen.Validate(); err != nil {
-		fmt.Fprintf(os.Stderr, "iobfleet: %v\n", err)
-		os.Exit(2)
+		fail(2, "%v", err)
 	}
 	f := &fleet.Fleet{
 		Wearers:  *wearers,
@@ -59,12 +80,81 @@ func main() {
 		Span:     units.Duration(*durSec),
 		Workers:  *workers,
 	}
-	rep, perf, err := f.Run()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "iobfleet: %v\n", err)
-		os.Exit(1)
+	if *resume && *outPath == "" {
+		fail(2, "-resume requires -out")
 	}
+
+	agg := fleet.NewStreamAggregator(f.Span)
+	sink := fleet.Sink(agg)
+	var store *telemetry.Writer
+	if *outPath != "" {
+		meta := telemetry.Meta{
+			FleetSeed:   f.Seed,
+			Wearers:     f.Wearers,
+			SpanSeconds: float64(f.Span),
+			Scenario:    gen.Tag(),
+			BlockSize:   *blockSize,
+		}
+		var err error
+		if *resume {
+			if store, err = telemetry.Resume(*outPath); err != nil {
+				fail(1, "%v", err)
+			}
+			got := store.Meta()
+			meta.BlockSize = got.BlockSize // block size is the store's to keep
+			if got != meta {
+				store.Abort()
+				fail(2, "resume flags describe a different sweep than %s:\n  store: %+v\n  flags: %+v", *outPath, got, meta)
+			}
+			// Rebuild the aggregate from the committed records, then
+			// simulate only the remainder.
+			r, err := telemetry.Open(*outPath)
+			if err != nil {
+				fail(1, "%v", err)
+			}
+			replayed, err := fleet.Replay(r, agg)
+			r.Close()
+			if err != nil {
+				fail(1, "%v", err)
+			}
+			if replayed != store.NextWearer() {
+				fail(1, "store %s replayed %d records but checkpoint says %d", *outPath, replayed, store.NextWearer())
+			}
+			f.Start = store.NextWearer()
+			fmt.Printf("resuming %s at wearer %d/%d (%d committed blocks)\n",
+				*outPath, f.Start, f.Wearers, store.Blocks())
+		} else {
+			// A forgotten -resume must not vaporize a checkpointed sweep:
+			// Create truncates, so refuse to clobber an existing store.
+			if st, serr := os.Stat(*outPath); serr == nil && st.Size() > 0 && !*force {
+				fail(2, "%s already exists; continue it with -resume, or overwrite it with -force", *outPath)
+			}
+			if store, err = telemetry.Create(*outPath, meta); err != nil {
+				fail(1, "%v", err)
+			}
+		}
+		// Store first, then aggregate: the committed prefix on disk never
+		// runs ahead of what the report has folded in.
+		sink = fleet.Tee(store, agg)
+	}
+
+	perf, err := f.Stream(sink)
+	if err != nil {
+		if store != nil {
+			store.Abort() // keep the checkpoint where the sweep died
+		}
+		fail(1, "%v", err)
+	}
+	if store != nil {
+		if err := store.Close(); err != nil {
+			fail(1, "%v", err)
+		}
+	}
+	rep := agg.Report()
 	fmt.Println(rep)
 	fmt.Printf("  engine:    %v\n", perf)
+	if store != nil {
+		fmt.Printf("  telemetry: %s (%d blocks)\n", *outPath, store.Blocks())
+	}
 	fmt.Printf("  fingerprint %s (seed %d)\n", rep.Fingerprint()[:16], *seed)
 }

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"fmt"
+	"path/filepath"
 	"testing"
 
 	"wiban/internal/fleet"
+	"wiban/internal/telemetry"
 	"wiban/internal/units"
 )
 
@@ -29,5 +32,86 @@ func TestDefaultFlagsProduceRunnableFleet(t *testing.T) {
 	}
 	if rep.Wearers != 20 || rep.Nodes < 20 || rep.PacketsDelivered == 0 {
 		t.Fatalf("implausible report: %+v", rep)
+	}
+}
+
+// TestOutResumeFlow mirrors main's -out / -resume composition: stream to
+// a store, die mid-sweep, resume with matching flags (replay + Start),
+// and check the fingerprint equals an uninterrupted run's. It also
+// checks the meta guard that rejects resume flags describing a different
+// population.
+func TestOutResumeFlow(t *testing.T) {
+	gen := &fleet.Generator{Base: fleet.DefaultBase(), PERSpread: 0.5, BatterySpread: 0.3}
+	if err := gen.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mkFleet := func() *fleet.Fleet {
+		return &fleet.Fleet{Wearers: 40, Seed: 9, Scenario: gen.Scenario(), Span: 5 * units.Second, Workers: 2}
+	}
+	meta := telemetry.Meta{
+		FleetSeed: 9, Wearers: 40, SpanSeconds: 5, Scenario: gen.Tag(), BlockSize: 8,
+	}
+
+	want, _, err := mkFleet().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Leg 1: stream to the store, kill after 19 records (mid-block).
+	path := filepath.Join(t.TempDir(), "sweep.wtl")
+	store, err := telemetry.Create(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	killer := fleet.SinkFunc(func(rec telemetry.Record) error {
+		if seen == 19 {
+			return fmt.Errorf("simulated kill")
+		}
+		seen++
+		return store.Consume(rec)
+	})
+	if _, err := mkFleet().Stream(killer); err == nil {
+		t.Fatal("kill-sink did not abort")
+	}
+	if err := store.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Leg 2: the resume path main takes.
+	resumed, err := telemetry.Resume(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := resumed.Meta()
+	if got != meta {
+		t.Fatalf("store meta %+v, flags %+v — the guard in main would refuse its own store", got, meta)
+	}
+	if wrong := (telemetry.Meta{FleetSeed: 10, Wearers: 40, SpanSeconds: 5, Scenario: gen.Tag(), BlockSize: 8}); got == wrong {
+		t.Fatal("meta guard cannot tell different seeds apart")
+	}
+	r, err := telemetry.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := fleet.NewStreamAggregator(5 * units.Second)
+	replayed, err := fleet.Replay(r, agg)
+	r.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != resumed.NextWearer() {
+		t.Fatalf("replayed %d, checkpoint %d", replayed, resumed.NextWearer())
+	}
+	f := mkFleet()
+	f.Start = resumed.NextWearer()
+	if _, err := f.Stream(fleet.Tee(resumed, agg)); err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Report().Fingerprint() != want.Fingerprint() {
+		t.Fatal("resumed CLI flow diverged from uninterrupted run")
 	}
 }

@@ -1,0 +1,165 @@
+// Command iobtrace inspects, verifies and re-aggregates fleet telemetry
+// stores written by iobfleet -out (see wiban/internal/telemetry for the
+// format).
+//
+// Usage:
+//
+//	iobtrace info   sweep.wtl             # header, blocks, compression
+//	iobtrace verify sweep.wtl             # CRC-scan every block
+//	iobtrace report sweep.wtl             # re-derive the aggregate report
+//	iobtrace wearer -w 123 sweep.wtl      # dump one wearer's record
+//
+// `report` replays the stored records through the same streaming
+// aggregator the live sweep used, so its fingerprint matches the one
+// iobfleet printed — the store is a complete, portable witness of the
+// run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"wiban/internal/compress"
+	"wiban/internal/fleet"
+	"wiban/internal/telemetry"
+	"wiban/internal/units"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: iobtrace <info|verify|report|wearer> [flags] <store.wtl>\n")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "info":
+		err = withStore(cmd, args, nil, info)
+	case "verify":
+		err = withStore(cmd, args, nil, verify)
+	case "report":
+		err = withStore(cmd, args, nil, report)
+	case "wearer":
+		var w int
+		err = withStore(cmd, args, func(fs *flag.FlagSet) {
+			fs.IntVar(&w, "w", 0, "wearer index to dump")
+		}, func(r *telemetry.Reader) error { return wearer(r, w) })
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iobtrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// withStore parses the subcommand's flags, opens the single positional
+// store argument and hands the reader to fn.
+func withStore(cmd string, args []string, defineFlags func(*flag.FlagSet), fn func(*telemetry.Reader) error) error {
+	fs := flag.NewFlagSet("iobtrace "+cmd, flag.ExitOnError)
+	if defineFlags != nil {
+		defineFlags(fs)
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	r, err := telemetry.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	return fn(r)
+}
+
+// drainCount iterates the whole store (populating the reader's totals)
+// and returns the record count.
+func drainCount(r *telemetry.Reader) (int, error) {
+	for {
+		if _, err := r.Next(); err == io.EOF {
+			return r.Records(), nil
+		} else if err != nil {
+			return r.Records(), err
+		}
+	}
+}
+
+func info(r *telemetry.Reader) error {
+	m := r.Meta()
+	n, err := drainCount(r)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("telemetry store: %d/%d wearers in %d blocks (block size %d)\n",
+		n, m.Wearers, r.Blocks(), m.BlockSize)
+	fmt.Printf("  sweep:       seed %d, %v per wearer\n", m.FleetSeed, units.Duration(m.SpanSeconds))
+	if m.Scenario != "" {
+		fmt.Printf("  scenario:    %s\n", m.Scenario)
+	}
+	fmt.Printf("  checkpoint:  valid=%t  complete=%t\n", r.Checkpointed(), n == m.Wearers)
+	fmt.Printf("  size:        %d bytes on disk, %d raw (%.2fx compression, %.1f B/wearer)\n",
+		r.StoredBytes(), r.RawBytes(),
+		compress.Ratio(int(r.RawBytes()), int(r.StoredBytes())), float64(r.StoredBytes())/float64(max(n, 1)))
+	return nil
+}
+
+func verify(r *telemetry.Reader) error {
+	n, err := drainCount(r)
+	if err != nil {
+		return fmt.Errorf("block %d: %w", r.Blocks(), err)
+	}
+	if r.Truncated() {
+		return fmt.Errorf("store damaged after %d blocks (%d records): uncheckpointed tail is not recoverable", r.Blocks(), n)
+	}
+	fmt.Printf("ok: %d blocks, %d records, every CRC verified\n", r.Blocks(), n)
+	if n < r.Meta().Wearers {
+		fmt.Printf("note: sweep incomplete (%d/%d wearers) — finish it with iobfleet -resume\n", n, r.Meta().Wearers)
+	}
+	return nil
+}
+
+func report(r *telemetry.Reader) error {
+	agg := fleet.NewStreamAggregator(units.Duration(r.Meta().SpanSeconds))
+	n, err := fleet.Replay(r, agg)
+	if err != nil {
+		return err
+	}
+	rep := agg.Report()
+	fmt.Println(rep)
+	if n < r.Meta().Wearers {
+		fmt.Printf("  (partial: %d/%d wearers committed)\n", n, r.Meta().Wearers)
+	}
+	fmt.Printf("  fingerprint %s (seed %d)\n", rep.Fingerprint()[:16], r.Meta().FleetSeed)
+	return nil
+}
+
+func wearer(r *telemetry.Reader, w int) error {
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return fmt.Errorf("wearer %d not in store (%d records)", w, r.Records())
+		}
+		if err != nil {
+			return err
+		}
+		if rec.Wearer != w {
+			continue
+		}
+		fmt.Printf("wearer %d: %d events, %d hub rx bits, hub utilization %.4f, %d nodes\n",
+			rec.Wearer, rec.Events, rec.HubRxBits, rec.HubUtilization, len(rec.Nodes))
+		for i, n := range rec.Nodes {
+			fmt.Printf("  node %d: %d gen / %d del / %d drop (%d tx, %d bits)  life %.1fh  p50 %.2fms  p99 %.2fms  perpetual=%t died=%t\n",
+				i, n.PacketsGenerated, n.PacketsDelivered, n.PacketsDropped,
+				n.Transmissions, n.BitsDelivered,
+				n.ProjectedLife/float64(units.Hour), n.LatencyP50*1e3, n.LatencyP99*1e3,
+				n.Perpetual, n.Died)
+		}
+		return nil
+	}
+}

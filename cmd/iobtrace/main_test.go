@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wiban/internal/fleet"
+	"wiban/internal/telemetry"
+	"wiban/internal/units"
+)
+
+// writeSweep streams a miniature fleet into a telemetry store and
+// returns its path plus the live fingerprint.
+func writeSweep(t *testing.T) (string, string) {
+	t.Helper()
+	gen := &fleet.Generator{Base: fleet.DefaultBase(), PERSpread: 0.5, BatterySpread: 0.3}
+	if err := gen.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f := &fleet.Fleet{Wearers: 30, Seed: 7, Scenario: gen.Scenario(), Span: 5 * units.Second, Workers: 2}
+	path := filepath.Join(t.TempDir(), "sweep.wtl")
+	store, err := telemetry.Create(path, telemetry.Meta{
+		FleetSeed: f.Seed, Wearers: f.Wearers, SpanSeconds: float64(f.Span),
+		Scenario: gen.Tag(), BlockSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := fleet.NewStreamAggregator(f.Span)
+	if _, err := f.Stream(fleet.Tee(store, agg)); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, agg.Report().Fingerprint()
+}
+
+// open returns a fresh reader for the store.
+func open(t *testing.T, path string) *telemetry.Reader {
+	t.Helper()
+	r, err := telemetry.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+// TestSubcommandsOnCompleteStore runs every subcommand body against a
+// freshly written store.
+func TestSubcommandsOnCompleteStore(t *testing.T) {
+	path, want := writeSweep(t)
+
+	if err := info(open(t, path)); err != nil {
+		t.Errorf("info: %v", err)
+	}
+	if err := verify(open(t, path)); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+	if err := report(open(t, path)); err != nil {
+		t.Errorf("report: %v", err)
+	}
+	if err := wearer(open(t, path), 17); err != nil {
+		t.Errorf("wearer: %v", err)
+	}
+	if err := wearer(open(t, path), 99); err == nil || !strings.Contains(err.Error(), "not in store") {
+		t.Errorf("missing wearer: err = %v", err)
+	}
+
+	// The re-derived aggregate matches the live sweep bit-for-bit.
+	r := open(t, path)
+	agg := fleet.NewStreamAggregator(units.Duration(r.Meta().SpanSeconds))
+	if _, err := fleet.Replay(r, agg); err != nil {
+		t.Fatal(err)
+	}
+	if got := agg.Report().Fingerprint(); got != want {
+		t.Fatalf("re-aggregated fingerprint %s, live sweep %s", got, want)
+	}
+}
+
+// TestVerifyFlagsCorruption flips a byte and demands verify fail loudly.
+func TestVerifyFlagsCorruption(t *testing.T) {
+	path, _ := writeSweep(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-9] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify(open(t, path)); err == nil {
+		t.Fatal("verify accepted a corrupted store")
+	}
+}

@@ -18,9 +18,17 @@
 //   - internal/fleet — the population-scale engine: N independent wearer
 //     simulations across a worker pool (cmd/iobfleet drives it), with a
 //     scenario generator that spreads channel loss, batteries, harvesters
-//     and device mixes across the fleet, and deterministic aggregation —
-//     the same fleet seed yields a byte-identical report at any worker
-//     count, via splitmix64 per-wearer seeds (desim.DeriveSeed);
+//     and device mixes across the fleet, and deterministic streaming
+//     aggregation — completed runs flow through a Sink in wearer-index
+//     order (bounded reorder window, O(workers) memory) into online
+//     histogram distributions, and the same fleet seed yields a
+//     byte-identical report at any worker count, via splitmix64
+//     per-wearer seeds (desim.DeriveSeed);
+//   - internal/telemetry — the streaming fleet-telemetry store
+//     (cmd/iobtrace inspects it): delta/bit-packed columnar blocks with
+//     CRC footers plus an atomically-renamed checkpoint sidecar, so a
+//     killed million-wearer sweep resumes from its last committed block
+//     (iobfleet -out/-resume) and re-derives a bit-identical fingerprint;
 //   - internal/figures — generators for every figure and table in the
 //     paper (also exposed through cmd/iobfig and the root benchmarks).
 //

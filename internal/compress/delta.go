@@ -1,0 +1,137 @@
+package compress
+
+// Exported column codecs for the telemetry store (internal/telemetry):
+// zigzag-delta varint for integer columns, XOR-prev varint for float
+// columns, and a bit-packed boolean column, plus thin exported wrappers
+// around the MSB-first bit packer the in-package codecs already use. The
+// encoders are self-delimiting only in combination with a caller-kept
+// element count: telemetry blocks store the count once per block rather
+// than once per column.
+
+import "math"
+
+// BitWriter packs bits MSB-first into a growing byte buffer. It is the
+// exported face of the packer Golomb-Rice and Huffman use internally.
+type BitWriter struct{ w bitWriter }
+
+// WriteBits appends the low n bits of v, MSB of those n first. n must be
+// ≤ 64.
+func (w *BitWriter) WriteBits(v uint64, n uint) { w.w.writeBits(v, n) }
+
+// Bytes flushes any partial byte (zero-padded) and returns the buffer.
+func (w *BitWriter) Bytes() []byte { return w.w.bytes() }
+
+// BitReader reads bits MSB-first from a byte slice.
+type BitReader struct{ r bitReader }
+
+// NewBitReader reads from buf; the caller keeps ownership of buf.
+func NewBitReader(buf []byte) *BitReader { return &BitReader{bitReader{buf: buf}} }
+
+// ReadBits reads n ≤ 64 bits; it returns ErrCorrupt past end-of-stream.
+func (r *BitReader) ReadBits(n uint) (uint64, error) { return r.r.readBits(n) }
+
+// AppendUvarint appends v in LEB128 (7 bits per byte, low group first).
+func AppendUvarint(dst []byte, v uint64) []byte { return appendUvarint(dst, v) }
+
+// DecodeUvarint decodes one LEB128 value, returning the value and the
+// bytes consumed; consumed is 0 on a truncated or overlong encoding.
+func DecodeUvarint(src []byte) (uint64, int) { return uvarint(src) }
+
+// Zigzag maps signed to unsigned so small-magnitude values of either sign
+// get short varints: 0,-1,1,-2,2 → 0,1,2,3,4.
+func Zigzag(v int64) uint64 { return zigzag(v) }
+
+// Unzigzag inverts Zigzag.
+func Unzigzag(u uint64) int64 { return unzigzag(u) }
+
+// AppendDeltaInts appends vals as zigzag varints of consecutive
+// differences (first value differenced against zero). Sorted or
+// slowly-varying columns collapse to one or two bytes per element.
+func AppendDeltaInts(dst []byte, vals []int64) []byte {
+	var prev int64
+	for _, v := range vals {
+		dst = appendUvarint(dst, zigzag(v-prev))
+		prev = v
+	}
+	return dst
+}
+
+// DecodeDeltaInts fills dst with len(dst) delta-decoded values from src
+// and returns the bytes consumed, or ErrCorrupt on a truncated stream.
+func DecodeDeltaInts(src []byte, dst []int64) (int, error) {
+	var prev int64
+	pos := 0
+	for i := range dst {
+		u, n := uvarint(src[pos:])
+		if n == 0 {
+			return 0, ErrCorrupt
+		}
+		pos += n
+		prev += unzigzag(u)
+		dst[i] = prev
+	}
+	return pos, nil
+}
+
+// AppendXorFloats appends vals as varints of each value's IEEE-754 bits
+// XORed with the previous value's bits (Gorilla-style predecessor
+// prediction, varint instead of leading/trailing-zero headers). Repeated
+// values cost one byte; values sharing sign/exponent shed their high
+// bytes.
+func AppendXorFloats(dst []byte, vals []float64) []byte {
+	var prev uint64
+	for _, v := range vals {
+		bits := math.Float64bits(v)
+		dst = appendUvarint(dst, bits^prev)
+		prev = bits
+	}
+	return dst
+}
+
+// DecodeXorFloats fills dst with len(dst) XOR-decoded floats from src and
+// returns the bytes consumed, or ErrCorrupt on a truncated stream.
+func DecodeXorFloats(src []byte, dst []float64) (int, error) {
+	var prev uint64
+	pos := 0
+	for i := range dst {
+		u, n := uvarint(src[pos:])
+		if n == 0 {
+			return 0, ErrCorrupt
+		}
+		pos += n
+		prev ^= u
+		dst[i] = math.Float64frombits(prev)
+	}
+	return pos, nil
+}
+
+// PackBools appends vals bit-packed MSB-first, ⌈n/8⌉ bytes for n values.
+func PackBools(dst []byte, vals []bool) []byte {
+	var w bitWriter
+	w.buf = dst
+	for _, v := range vals {
+		var bit uint64
+		if v {
+			bit = 1
+		}
+		w.writeBits(bit, 1)
+	}
+	return w.bytes()
+}
+
+// PackedBoolLen is the encoded size of n bit-packed booleans.
+func PackedBoolLen(n int) int { return (n + 7) / 8 }
+
+// UnpackBools fills dst with len(dst) bits from src (MSB-first), or
+// returns ErrCorrupt when src is shorter than PackedBoolLen(len(dst)).
+func UnpackBools(src []byte, dst []bool) error {
+	r := bitReader{buf: src}
+	for i := range dst {
+		b, err := r.readBits(1)
+		if err != nil {
+			return err
+		}
+		dst[i] = b == 1
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package compress
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestBitWriterReaderBoundaries round-trips bit runs chosen to land on
+// every alignment: single bits, exact byte multiples, 7/9-bit straddles
+// and full 64-bit words, through the exported BitWriter/BitReader.
+func TestBitWriterReaderBoundaries(t *testing.T) {
+	widths := []uint{1, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64}
+	var w BitWriter
+	var want []uint64
+	for i, n := range widths {
+		// A value pattern exercising both all-ones and sparse bits at
+		// each width.
+		v := (uint64(0xdeadbeefcafef00d) >> uint(i)) & (math.MaxUint64 >> (64 - n))
+		w.WriteBits(v, n)
+		want = append(want, v)
+	}
+	buf := w.Bytes()
+	r := NewBitReader(buf)
+	for i, n := range widths {
+		got, err := r.ReadBits(n)
+		if err != nil {
+			t.Fatalf("ReadBits(%d) at %d: %v", n, i, err)
+		}
+		if got != want[i] {
+			t.Fatalf("width %d: got %#x want %#x", n, got, want[i])
+		}
+	}
+	// Reading past the zero-padded tail must fail rather than invent bits.
+	if _, err := r.ReadBits(8); err == nil {
+		t.Error("ReadBits past end-of-stream succeeded")
+	}
+}
+
+// TestBitRoundTripAtBlockEdges writes exactly 8·k bits so the buffer ends
+// on a byte boundary with no padding, then one extra bit to force a
+// padded final byte — both must round-trip.
+func TestBitRoundTripAtBlockEdges(t *testing.T) {
+	for _, extra := range []uint{0, 1} {
+		var w BitWriter
+		for i := 0; i < 16; i++ {
+			w.WriteBits(uint64(i), 8)
+		}
+		if extra > 0 {
+			w.WriteBits(1, extra)
+		}
+		buf := w.Bytes()
+		wantLen := 16 + int(extra+7)/8
+		if len(buf) != wantLen {
+			t.Fatalf("extra=%d: len=%d want %d", extra, len(buf), wantLen)
+		}
+		r := NewBitReader(buf)
+		for i := 0; i < 16; i++ {
+			v, err := r.ReadBits(8)
+			if err != nil || v != uint64(i) {
+				t.Fatalf("extra=%d byte %d: %d, %v", extra, i, v, err)
+			}
+		}
+		if extra > 0 {
+			if v, err := r.ReadBits(1); err != nil || v != 1 {
+				t.Fatalf("extra bit: %d, %v", v, err)
+			}
+		}
+	}
+}
+
+// TestDeltaIntsRoundTrip covers monotone, alternating-sign and extreme
+// columns, including the int64 limits where the delta itself overflows
+// (two's-complement wraparound must still round-trip).
+func TestDeltaIntsRoundTrip(t *testing.T) {
+	cases := [][]int64{
+		nil,
+		{0},
+		{1, 2, 3, 4, 5},
+		{5, 4, 3, 2, 1, 0, -1, -2},
+		{0, math.MaxInt64, math.MinInt64, -1, 1},
+		{1 << 40, 1<<40 + 1, 1<<40 - 7},
+	}
+	for i, vals := range cases {
+		enc := AppendDeltaInts(nil, vals)
+		dec := make([]int64, len(vals))
+		n, err := DecodeDeltaInts(enc, dec)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if n != len(enc) {
+			t.Errorf("case %d: consumed %d of %d bytes", i, n, len(enc))
+		}
+		for j := range vals {
+			if dec[j] != vals[j] {
+				t.Fatalf("case %d[%d]: got %d want %d", i, j, dec[j], vals[j])
+			}
+		}
+	}
+	// A sorted small-delta column must actually compress.
+	ramp := make([]int64, 1000)
+	for i := range ramp {
+		ramp[i] = int64(1e9) + int64(i)
+	}
+	if enc := AppendDeltaInts(nil, ramp); len(enc) > 1010 {
+		t.Errorf("ramp column: %d bytes for 1000 values, want ≈1 byte/value", len(enc))
+	}
+}
+
+// TestXorFloatsRoundTrip checks exact bit-level reproduction including
+// negative zero, NaN payloads and infinities.
+func TestXorFloatsRoundTrip(t *testing.T) {
+	vals := []float64{0, 1, 1, 1.0000000001, -3.5, math.Inf(1), math.Inf(-1),
+		math.Copysign(0, -1), math.NaN(), 2.5e-300, 1e300}
+	enc := AppendXorFloats(nil, vals)
+	dec := make([]float64, len(vals))
+	n, err := DecodeXorFloats(enc, dec)
+	if err != nil || n != len(enc) {
+		t.Fatalf("decode: n=%d err=%v", n, err)
+	}
+	for i, v := range vals {
+		if math.Float64bits(dec[i]) != math.Float64bits(v) {
+			t.Errorf("[%d]: got %x want %x", i, math.Float64bits(dec[i]), math.Float64bits(v))
+		}
+	}
+	// A repeated value costs one byte after the first occurrence.
+	flat := AppendXorFloats(nil, []float64{42.125, 42.125, 42.125, 42.125})
+	if want := len(AppendXorFloats(nil, []float64{42.125})) + 3; len(flat) != want {
+		t.Errorf("constant column: %d bytes, want %d", len(flat), want)
+	}
+}
+
+// TestPackBools round-trips lengths straddling the byte boundary.
+func TestPackBools(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 65} {
+		vals := make([]bool, n)
+		for i := range vals {
+			vals[i] = i%3 == 0
+		}
+		enc := PackBools(nil, vals)
+		if len(enc) != PackedBoolLen(n) {
+			t.Fatalf("n=%d: %d bytes, want %d", n, len(enc), PackedBoolLen(n))
+		}
+		dec := make([]bool, n)
+		if err := UnpackBools(enc, dec); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range vals {
+			if dec[i] != vals[i] {
+				t.Fatalf("n=%d[%d]: got %v", n, i, dec[i])
+			}
+		}
+	}
+	if err := UnpackBools(nil, make([]bool, 1)); err == nil {
+		t.Error("UnpackBools on short input succeeded")
+	}
+}
+
+// TestDecodeTruncated checks every decoder reports ErrCorrupt, not
+// garbage, when the stream is cut mid-element.
+func TestDecodeTruncated(t *testing.T) {
+	enc := AppendDeltaInts(nil, []int64{1 << 50, -(1 << 50)})
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeDeltaInts(enc[:cut], make([]int64, 2)); err == nil {
+			t.Fatalf("ints: cut=%d decoded", cut)
+		}
+	}
+	fenc := AppendXorFloats(nil, []float64{1e300, -1e-300})
+	for cut := 0; cut < len(fenc); cut++ {
+		if _, err := DecodeXorFloats(fenc[:cut], make([]float64, 2)); err == nil {
+			t.Fatalf("floats: cut=%d decoded", cut)
+		}
+	}
+	// Overlong varint (11 continuation bytes) must be rejected.
+	over := bytes.Repeat([]byte{0x80}, 11)
+	if _, n := DecodeUvarint(over); n != 0 {
+		t.Error("overlong varint accepted")
+	}
+}

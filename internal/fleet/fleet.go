@@ -17,12 +17,27 @@
 //
 // Each wearer runs on its own desim kernel with its own RNG, so runs
 // share no mutable state and the schedule of workers cannot influence any
-// outcome. Aggregation happens after all runs complete, in wearer-index
-// order, so floating-point summation order is fixed too. The invariant —
-// same fleet seed ⇒ byte-identical aggregate report for any worker count
-// — is pinned by the parallelism-invariance tests and must be preserved
-// by future changes; in particular the stream-index assignment above is
-// part of the replay contract and must never be renumbered.
+// outcome. Completed reports are handed to the run's Sink in wearer-index
+// order through a bounded reorder window, so floating-point accumulation
+// order is fixed too. The invariant — same fleet seed ⇒ byte-identical
+// aggregate report for any worker count — is pinned by the
+// parallelism-invariance tests and must be preserved by future changes;
+// in particular the stream-index assignment above is part of the replay
+// contract and must never be renumbered.
+//
+// # Streaming aggregation and memory
+//
+// The default path (Run, Stream) never holds more than the reorder
+// window (a small multiple of the worker count) of per-wearer reports:
+// each report is flattened to a telemetry.Record, folded into the
+// StreamAggregator and/or appended to a telemetry store, then dropped —
+// a million-wearer sweep aggregates in O(workers) memory. The batch
+// path that materializes every report for exact percentiles is the
+// opt-in RunReports. Setting Start resumes an interrupted sweep: wearers
+// below Start are skipped (their records replay from the telemetry
+// store via Replay), and because per-wearer seeds derive from absolute
+// wearer indices the resumed sweep is bit-identical to an uninterrupted
+// one.
 package fleet
 
 import (
@@ -58,6 +73,12 @@ type Fleet struct {
 	Span units.Duration
 	// Workers bounds parallelism; <= 0 means runtime.NumCPU().
 	Workers int
+	// Start is the first wearer to simulate (wearers [Start, Wearers)
+	// run). Non-zero only when resuming an interrupted sweep whose
+	// earlier records replay from a telemetry store; seeds still derive
+	// from absolute wearer indices, so a resumed sweep reproduces an
+	// uninterrupted one exactly.
+	Start int
 }
 
 // Perf captures wall-clock throughput of a fleet run. It is reported
@@ -68,78 +89,189 @@ type Perf struct {
 	Elapsed      time.Duration
 	RunsPerSec   float64
 	EventsPerSec float64
+	// MaxPending is the peak occupancy of the reorder window — the most
+	// completed-but-not-yet-consumed reports held at once. It is bounded
+	// by the window size (a small multiple of Workers), never by fleet
+	// size; the streaming-memory tests assert exactly that.
+	MaxPending int
 }
 
 func (p Perf) String() string {
-	return fmt.Sprintf("%d workers, %v elapsed, %.1f runs/s, %.3g events/s",
-		p.Workers, p.Elapsed.Round(time.Millisecond), p.RunsPerSec, p.EventsPerSec)
+	return fmt.Sprintf("%d workers, %v elapsed, %.1f runs/s, %.3g events/s, window peak %d",
+		p.Workers, p.Elapsed.Round(time.Millisecond), p.RunsPerSec, p.EventsPerSec, p.MaxPending)
 }
 
-// Run executes the sweep and returns the deterministic aggregate report
-// plus wall-clock performance counters. If any wearer's scenario or
-// simulation fails, Run reports the failure at the lowest wearer index
-// (again independent of worker scheduling) and no report.
+// Run executes the sweep through the default bounded-memory path: each
+// completed report streams into a StreamAggregator and is dropped, so
+// memory is O(workers) regardless of population. It returns the
+// deterministic aggregate report plus wall-clock performance counters.
+// If any wearer's scenario or simulation fails, Run reports the failure
+// at the lowest wearer index (independent of worker scheduling) and no
+// report. For exact (non-histogram) percentiles over every per-wearer
+// report, use the opt-in RunReports.
 func (f *Fleet) Run() (*Report, Perf, error) {
+	agg := NewStreamAggregator(f.Span)
+	perf, err := f.Stream(agg)
+	if err != nil {
+		return nil, Perf{}, err
+	}
+	return agg.Report(), perf, nil
+}
+
+// RunReports is the opt-in full-report path: it materializes every
+// per-wearer report (O(fleet) memory) and aggregates them with the exact
+// sorted-sample percentiles of Aggregate. Resume (Start > 0) is not
+// supported here — partial sweeps only make sense streamed.
+func (f *Fleet) RunReports() ([]*bannet.Report, *Report, Perf, error) {
+	if f.Start != 0 {
+		return nil, nil, Perf{}, fmt.Errorf("fleet: RunReports does not support Start=%d; stream a resumed sweep instead", f.Start)
+	}
 	if f.Wearers <= 0 {
-		return nil, Perf{}, fmt.Errorf("fleet: non-positive population %d", f.Wearers)
+		return nil, nil, Perf{}, fmt.Errorf("fleet: non-positive population %d", f.Wearers)
+	}
+	reports := make([]*bannet.Report, 0, f.Wearers)
+	perf, err := f.stream(func(w int, r *bannet.Report) error {
+		reports = append(reports, r)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, Perf{}, err
+	}
+	return reports, Aggregate(f.Span, reports), perf, nil
+}
+
+// Stream executes wearers [Start, Wearers) and feeds each one's
+// telemetry record to sink in strict wearer-index order. Tee the
+// telemetry store's Writer with a StreamAggregator to persist and
+// aggregate in one pass. A sink error aborts the sweep (records already
+// consumed form a valid committed prefix).
+func (f *Fleet) Stream(sink Sink) (Perf, error) {
+	return f.stream(func(w int, r *bannet.Report) error {
+		return sink.Consume(RecordOf(w, r))
+	})
+}
+
+// stream is the engine: a worker pool over wearer indices with a bounded
+// reorder window. Workers acquire a window slot before taking an index,
+// and slots free only when the in-order consumer emits the report, so at
+// most `window` completed reports exist at any instant — backpressure,
+// not buffering, absorbs stragglers.
+func (f *Fleet) stream(emit func(w int, r *bannet.Report) error) (Perf, error) {
+	if f.Wearers <= 0 {
+		return Perf{}, fmt.Errorf("fleet: non-positive population %d", f.Wearers)
 	}
 	if f.Scenario == nil {
-		return nil, Perf{}, fmt.Errorf("fleet: nil scenario")
+		return Perf{}, fmt.Errorf("fleet: nil scenario")
 	}
 	if f.Span <= 0 {
-		return nil, Perf{}, fmt.Errorf("fleet: non-positive span")
+		return Perf{}, fmt.Errorf("fleet: non-positive span")
+	}
+	if f.Start < 0 || f.Start > f.Wearers {
+		return Perf{}, fmt.Errorf("fleet: start index %d outside population [0, %d]", f.Start, f.Wearers)
+	}
+	count := f.Wearers - f.Start
+	if count == 0 {
+		return Perf{}, nil
 	}
 	workers := f.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	if workers > f.Wearers {
-		workers = f.Wearers
+	if workers > count {
+		workers = count
+	}
+	window := 4 * workers
+
+	var (
+		slots = make(chan struct{}, window)
+		done  = make(chan struct{})
+		next  atomic.Int64
+		wg    sync.WaitGroup
+
+		mu         sync.Mutex
+		pending    = make(map[int]*bannet.Report, window)
+		nextEmit   = f.Start
+		maxPending int
+		events     uint64
+		failIdx    = -1
+		failErr    error
+	)
+	next.Store(int64(f.Start))
+	// fail records the lowest-index failure and halts dispatch. The
+	// lowest recorded index is scheduling-independent: indices are
+	// dispatched in order, and every index below the first failure was
+	// dispatched — and runs to completion — before workers observe done.
+	fail := func(i int, err error) {
+		mu.Lock()
+		if failIdx == -1 || i < failIdx {
+			failIdx, failErr = i, err
+		}
+		select {
+		case <-done:
+		default:
+			close(done) // under mu, so exactly one closer
+		}
+		mu.Unlock()
 	}
 
-	reports := make([]*bannet.Report, f.Wearers)
-	errs := make([]error, f.Wearers)
-	var next atomic.Int64
-	var failed atomic.Bool
-	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for !failed.Load() {
-				i := int(next.Add(1) - 1)
-				if i >= f.Wearers {
+			for {
+				select {
+				case slots <- struct{}{}:
+				case <-done:
 					return
 				}
-				reports[i], errs[i] = f.runWearer(i)
-				if errs[i] != nil {
-					// Stop dispatching further wearers: a misconfigured
-					// million-wearer sweep should die on the first failure,
-					// not after the full sweep. The error report below still
-					// picks the lowest failing index, which is deterministic
-					// because every wearer before the first recorded failure
-					// was dispatched before workers observed the flag.
-					failed.Store(true)
+				i := int(next.Add(1) - 1)
+				if i >= f.Wearers {
+					<-slots // hand the slot back: nothing will be emitted for it
+					return
 				}
+				rep, err := f.runWearer(i)
+				if err != nil {
+					fail(i, fmt.Errorf("fleet: wearer %d: %w", i, err))
+					return
+				}
+				mu.Lock()
+				pending[i] = rep
+				if len(pending) > maxPending {
+					maxPending = len(pending)
+				}
+				for {
+					r, ok := pending[nextEmit]
+					if !ok {
+						break
+					}
+					delete(pending, nextEmit)
+					if err := emit(nextEmit, r); err != nil {
+						idx := nextEmit
+						mu.Unlock()
+						fail(idx, fmt.Errorf("fleet: sink at wearer %d: %w", idx, err))
+						return
+					}
+					events += r.Events
+					nextEmit++
+					<-slots // the emitted report's slot frees a waiting worker
+				}
+				mu.Unlock()
 			}
 		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	for i, err := range errs {
-		if err != nil {
-			return nil, Perf{}, fmt.Errorf("fleet: wearer %d: %w", i, err)
-		}
+	if failIdx != -1 {
+		return Perf{}, failErr
 	}
-	rep := Aggregate(f.Span, reports)
-	perf := Perf{Workers: workers, Elapsed: elapsed}
+	perf := Perf{Workers: workers, Elapsed: elapsed, MaxPending: maxPending}
 	if s := elapsed.Seconds(); s > 0 {
-		perf.RunsPerSec = float64(f.Wearers) / s
-		perf.EventsPerSec = float64(rep.Events) / s
+		perf.RunsPerSec = float64(count) / s
+		perf.EventsPerSec = float64(events) / s
 	}
-	return rep, perf, nil
+	return perf, nil
 }
 
 // runWearer builds and runs one wearer's simulation shard.

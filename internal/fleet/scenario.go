@@ -79,6 +79,15 @@ func (g *Generator) Validate() error {
 	return nil
 }
 
+// Tag renders the generator's perturbation parameters as a stable string.
+// It is stored in a telemetry store's metadata so a resumed sweep can
+// refuse flags that describe a different population (the base config is
+// assumed fixed per binary version).
+func (g *Generator) Tag() string {
+	return fmt.Sprintf("gen:per=%g,batt=%g,harv=%g,drop=%g,ble=%g,drain=%t",
+		g.PERSpread, g.BatterySpread, g.HarvesterProb, g.DropNodeProb, g.BLEFraction, g.DrainBattery)
+}
+
 // spread returns a uniform multiplicative factor in [1-s, 1+s].
 func spread(rng *rand.Rand, s float64) float64 {
 	if s <= 0 {

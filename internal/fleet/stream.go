@@ -1,0 +1,190 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+
+	"wiban/internal/bannet"
+	"wiban/internal/telemetry"
+	"wiban/internal/units"
+)
+
+// Sink consumes per-wearer telemetry records. The engine guarantees
+// strict wearer-index order with no gaps and serializes calls, so a Sink
+// needs no locking; a Sink error aborts the sweep. Both the streaming
+// aggregator and the telemetry store's Writer are Sinks, and Tee fans one
+// stream into several.
+type Sink interface {
+	Consume(rec telemetry.Record) error
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(rec telemetry.Record) error
+
+// Consume calls f.
+func (f SinkFunc) Consume(rec telemetry.Record) error { return f(rec) }
+
+// Tee fans each record into every sink, in argument order, stopping at
+// the first error.
+func Tee(sinks ...Sink) Sink {
+	return SinkFunc(func(rec telemetry.Record) error {
+		for _, s := range sinks {
+			if err := s.Consume(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// RecordOf flattens one wearer's simulation report into its telemetry
+// record — exactly the fields fleet aggregation consumes, with durations
+// in seconds.
+func RecordOf(wearer int, r *bannet.Report) telemetry.Record {
+	rec := telemetry.Record{
+		Wearer:         wearer,
+		Events:         r.Events,
+		HubRxBits:      r.HubRxBits,
+		HubUtilization: r.HubUtilization,
+	}
+	if len(r.Nodes) > 0 {
+		rec.Nodes = make([]telemetry.NodeRecord, len(r.Nodes))
+	}
+	for i := range r.Nodes {
+		n := &r.Nodes[i]
+		rec.Nodes[i] = telemetry.NodeRecord{
+			PacketsGenerated: n.PacketsGenerated,
+			PacketsDelivered: n.PacketsDelivered,
+			PacketsDropped:   n.PacketsDropped,
+			Transmissions:    n.Transmissions,
+			BitsDelivered:    n.BitsDelivered,
+			ProjectedLife:    float64(n.ProjectedLife),
+			LatencyP50:       float64(n.LatencyP50),
+			LatencyP99:       float64(n.LatencyP99),
+			Perpetual:        n.Perpetual,
+			Died:             n.Died,
+		}
+	}
+	return rec
+}
+
+// StreamAggregator folds a stream of wearer records into a fleet Report
+// in constant memory: totals and fractions are exact, the five population
+// distributions keep exact count/min/max/mean and histogram-estimated
+// percentiles (see StreamDist). It is the engine's default sink; the
+// exact-percentile batch path remains available via RunReports and
+// Aggregate.
+type StreamAggregator struct {
+	span    units.Duration
+	wearers int
+	nodes   int
+	events  uint64
+
+	pktGen, pktDel, pktDrop, tx, bits, hubRx int64
+	perpetual, died                          int
+
+	delivery, life, latP50, latP99, hubUtil *StreamDist
+}
+
+// NewStreamAggregator returns an empty aggregator for sweeps of the given
+// per-wearer span.
+func NewStreamAggregator(span units.Duration) *StreamAggregator {
+	return &StreamAggregator{
+		span:     span,
+		delivery: NewStreamDist(0),
+		life:     NewStreamDist(0),
+		latP50:   NewStreamDist(0),
+		latP99:   NewStreamDist(0),
+		hubUtil:  NewStreamDist(0),
+	}
+}
+
+// Consume folds one wearer record; it implements Sink. The derived
+// figures mirror Aggregate exactly: delivery rate is 1 for idle nodes,
+// latency distributions only include nodes that delivered traffic.
+func (a *StreamAggregator) Consume(rec telemetry.Record) error {
+	a.wearers++
+	a.events += rec.Events
+	a.hubRx += rec.HubRxBits
+	a.hubUtil.Add(rec.HubUtilization)
+	for i := range rec.Nodes {
+		n := &rec.Nodes[i]
+		a.nodes++
+		a.pktGen += n.PacketsGenerated
+		a.pktDel += n.PacketsDelivered
+		a.pktDrop += n.PacketsDropped
+		a.tx += n.Transmissions
+		a.bits += n.BitsDelivered
+		rate := 1.0
+		if n.PacketsGenerated > 0 {
+			rate = float64(n.PacketsDelivered) / float64(n.PacketsGenerated)
+		}
+		a.delivery.Add(rate)
+		a.life.Add(n.ProjectedLife / float64(units.Hour))
+		if n.PacketsDelivered > 0 {
+			a.latP50.Add(n.LatencyP50 * 1e3)
+			a.latP99.Add(n.LatencyP99 * 1e3)
+		}
+		if n.Perpetual {
+			a.perpetual++
+		}
+		if n.Died {
+			a.died++
+		}
+	}
+	return nil
+}
+
+// Wearers reports how many records have been folded in — after a replay,
+// the index the interrupted sweep resumes from.
+func (a *StreamAggregator) Wearers() int { return a.wearers }
+
+// Report renders the aggregate. It may be called repeatedly; the
+// aggregator keeps accepting records afterwards.
+func (a *StreamAggregator) Report() *Report {
+	rep := &Report{
+		Wearers:          a.wearers,
+		Nodes:            a.nodes,
+		Span:             a.span,
+		Events:           a.events,
+		PacketsGenerated: a.pktGen,
+		PacketsDelivered: a.pktDel,
+		PacketsDropped:   a.pktDrop,
+		Transmissions:    a.tx,
+		BitsDelivered:    a.bits,
+		HubRxBits:        a.hubRx,
+		DeliveryRate:     a.delivery.Dist(),
+		BatteryLifeHours: a.life.Dist(),
+		LatencyP50ms:     a.latP50.Dist(),
+		LatencyP99ms:     a.latP99.Dist(),
+		HubUtilization:   a.hubUtil.Dist(),
+	}
+	if rep.Nodes > 0 {
+		rep.PerpetualFraction = float64(a.perpetual) / float64(rep.Nodes)
+		rep.DiedFraction = float64(a.died) / float64(rep.Nodes)
+	}
+	return rep
+}
+
+// Replay feeds every committed record of a store into sink, in order, and
+// returns how many it fed — the wearer index a resumed sweep starts at.
+// Memory stays bounded by one telemetry block.
+func Replay(r *telemetry.Reader, sink Sink) (int, error) {
+	n := 0
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, fmt.Errorf("fleet: replay: %w", err)
+		}
+		if rec.Wearer != n {
+			return n, fmt.Errorf("fleet: replay: wearer %d at position %d", rec.Wearer, n)
+		}
+		if err := sink.Consume(rec); err != nil {
+			return n, fmt.Errorf("fleet: replay: wearer %d: %w", n, err)
+		}
+		n++
+	}
+}

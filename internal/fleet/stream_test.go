@@ -1,0 +1,206 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"wiban/internal/telemetry"
+	"wiban/internal/units"
+)
+
+// TestStreamDistExactBelowBudget: while distinct values fit the centroid
+// budget, StreamDist must reproduce the batch NewDist bit-for-bit —
+// including the ⌊n·p/100⌋ percentile convention and insertion-order
+// summation of the mean.
+func TestStreamDistExactBelowBudget(t *testing.T) {
+	samples := make([]float64, 200)
+	for i := range samples {
+		samples[i] = float64((i*37)%100) / 7 // 100 distinct values, shuffled order
+	}
+	sd := NewStreamDist(0)
+	for _, s := range samples {
+		sd.Add(s)
+	}
+	got := sd.Dist()
+	want := NewDist(append([]float64(nil), samples...))
+	if got != want {
+		t.Fatalf("stream dist diverged below budget:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestStreamDistMergedApproximation: far over budget, percentiles must
+// stay within a few percent of the exact ones on a smooth distribution.
+func TestStreamDistMergedApproximation(t *testing.T) {
+	const n = 50000
+	sd := NewStreamDist(64)
+	exact := make([]float64, n)
+	state := uint64(1)
+	for i := 0; i < n; i++ {
+		state = state*6364136223846793005 + 1442695040888963407 // deterministic LCG
+		x := float64(state>>11) / float64(1<<53)                // uniform [0,1)
+		sd.Add(x)
+		exact[i] = x
+	}
+	want := NewDist(exact)
+	got := sd.Dist()
+	if got.N != n || got.Min != want.Min || got.Max != want.Max {
+		t.Fatalf("exact fields diverged: %+v vs %+v", got, want)
+	}
+	if math.Abs(got.Mean-want.Mean) > 1e-9 {
+		t.Errorf("mean %v, want %v", got.Mean, want.Mean)
+	}
+	for _, q := range []struct{ got, want float64 }{
+		{got.P10, want.P10}, {got.P50, want.P50}, {got.P90, want.P90}, {got.P99, want.P99},
+	} {
+		if math.Abs(q.got-q.want) > 0.05 {
+			t.Errorf("quantile %v, want %v (±0.05 of unit range)", q.got, q.want)
+		}
+	}
+}
+
+// TestStreamDistDeterminism: identical insertion sequences produce
+// identical summaries even deep in merge territory.
+func TestStreamDistDeterminism(t *testing.T) {
+	run := func() Dist {
+		sd := NewStreamDist(32)
+		state := uint64(99)
+		for i := 0; i < 10000; i++ {
+			state = state*6364136223846793005 + 1442695040888963407
+			sd.Add(float64(state >> 40))
+		}
+		return sd.Dist()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("merge path nondeterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestStreamMatchesBatchOnSmallFleet: on a fleet small enough that no
+// centroid merges happen, the streaming Run and the exact RunReports
+// paths must produce byte-identical reports.
+func TestStreamMatchesBatchOnSmallFleet(t *testing.T) {
+	stream, _, err := testFleet(40, 4, 11).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, batch, _, err := testFleet(40, 4, 11).RunReports()
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, _ := json.Marshal(stream)
+	jb, _ := json.Marshal(batch)
+	if string(js) != string(jb) {
+		t.Fatalf("stream and batch aggregation diverged on a small fleet:\n%s\n%s", js, jb)
+	}
+}
+
+// TestStreamSinkOrderAndTee checks records arrive in strict wearer order
+// regardless of workers, and that Tee fans out in argument order.
+func TestStreamSinkOrderAndTee(t *testing.T) {
+	var order []int
+	var copies []int
+	first := SinkFunc(func(rec telemetry.Record) error {
+		order = append(order, rec.Wearer)
+		return nil
+	})
+	second := SinkFunc(func(rec telemetry.Record) error {
+		copies = append(copies, rec.Wearer)
+		return nil
+	})
+	f := testFleet(50, 8, 3)
+	if _, err := f.Stream(Tee(first, second)); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 50 || len(copies) != 50 {
+		t.Fatalf("sinks saw %d/%d records, want 50/50", len(order), len(copies))
+	}
+	for i, w := range order {
+		if w != i {
+			t.Fatalf("record %d has wearer %d: out of order", i, w)
+		}
+	}
+}
+
+// TestStreamSinkErrorAborts: a sink failure aborts the sweep with a
+// deterministic index, independent of worker count.
+func TestStreamSinkErrorAborts(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		f := testFleet(60, workers, 5)
+		boom := SinkFunc(func(rec telemetry.Record) error {
+			if rec.Wearer == 23 {
+				return fmt.Errorf("disk full")
+			}
+			return nil
+		})
+		_, err := f.Stream(boom)
+		if err == nil || !strings.Contains(err.Error(), "wearer 23") {
+			t.Fatalf("workers=%d: err = %v, want sink failure at wearer 23", workers, err)
+		}
+	}
+}
+
+// TestStreamWindowBoundsMemory: the reorder window, not the fleet size,
+// bounds how many completed reports coexist.
+func TestStreamWindowBoundsMemory(t *testing.T) {
+	f := testFleet(400, 8, 9)
+	f.Span = 5 * units.Second
+	rep, perf, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Wearers != 400 {
+		t.Fatalf("wearers %d", rep.Wearers)
+	}
+	if perf.MaxPending > 4*8 {
+		t.Fatalf("reorder window peaked at %d reports, bound is %d", perf.MaxPending, 4*8)
+	}
+}
+
+// TestStreamStartResumesExactly: splitting a sweep at an arbitrary index
+// and feeding both halves into one aggregator reproduces the one-shot
+// sweep byte-for-byte (the telemetry-store version of this is the resume
+// golden test).
+func TestStreamStartResumesExactly(t *testing.T) {
+	full, _, err := testFleet(80, 4, 21).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := NewStreamAggregator(30 * units.Second)
+	head := testFleet(80, 4, 21)
+	head.Wearers = 33 // first leg: wearers [0, 33)
+	if _, err := head.Stream(agg); err != nil {
+		t.Fatal(err)
+	}
+	tail := testFleet(80, 4, 21)
+	tail.Start = 33 // second leg: wearers [33, 80)
+	if _, err := tail.Stream(agg); err != nil {
+		t.Fatal(err)
+	}
+	if got := agg.Report(); got.Fingerprint() != full.Fingerprint() {
+		t.Fatal("split sweep diverged from one-shot sweep")
+	}
+}
+
+// TestStreamRejectsBadStart covers Start validation.
+func TestStreamRejectsBadStart(t *testing.T) {
+	for _, start := range []int{-1, 101} {
+		f := testFleet(100, 2, 1)
+		f.Start = start
+		if _, _, err := f.Run(); err == nil {
+			t.Errorf("Start=%d accepted", start)
+		}
+	}
+	f := testFleet(100, 2, 1)
+	f.Start = 100 // empty resume leg is legal: everything already stored
+	if _, err := f.Stream(NewStreamAggregator(f.Span)); err != nil {
+		t.Errorf("Start==Wearers: %v", err)
+	}
+	if f.Start != 0 {
+		if _, _, _, err := f.RunReports(); err == nil {
+			t.Error("RunReports accepted a resumed sweep")
+		}
+	}
+}

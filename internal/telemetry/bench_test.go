@@ -1,0 +1,91 @@
+package telemetry
+
+// Codec benchmarks: how fast wearer records move through the columnar
+// block encoder/decoder, in records/s and encoded MB/s. BENCH_fleet.json
+// at the repo root records a baseline next to the fleet-engine numbers —
+// the encoder must stay far faster than the simulator (~thousands of
+// runs/s) so the telemetry sink never becomes the sweep bottleneck.
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// benchRecords builds one block's worth of realistic records.
+func benchRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = testRecord(i)
+		// testRecord cycles 0–3 nodes; pad to a realistic 3–6 node mix.
+		for len(recs[i].Nodes) < 3 {
+			recs[i].Nodes = append(recs[i].Nodes, NodeRecord{
+				PacketsGenerated: int64(300 + i%17),
+				PacketsDelivered: int64(290 + i%17),
+				Transmissions:    int64(310 + i%19),
+				BitsDelivered:    int64(290000 + 1024*(i%13)),
+				ProjectedLife:    86400 * float64(2+i%9),
+				LatencyP50:       0.012,
+				LatencyP99:       0.055,
+				Perpetual:        i%2 == 0,
+			})
+		}
+	}
+	return recs
+}
+
+func BenchmarkBlockEncode(b *testing.B) {
+	recs := benchRecords(DefaultBlockSize)
+	var encoded int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame := encodeBlock(recs)
+		encoded = int64(len(frame))
+	}
+	b.StopTimer()
+	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(float64(DefaultBlockSize)/(perOp/1e9), "records/s")
+	b.ReportMetric(float64(encoded)/(perOp/1e9)/1e6, "MB/s")
+}
+
+func BenchmarkBlockDecode(b *testing.B) {
+	recs := benchRecords(DefaultBlockSize)
+	frame := encodeBlock(recs)
+	payload := frame[8 : len(frame)-4] // strip magic+len and CRC framing
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := decodeBlock(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(float64(DefaultBlockSize)/(perOp/1e9), "records/s")
+	b.ReportMetric(float64(len(payload))/(perOp/1e9)/1e6, "MB/s")
+}
+
+// BenchmarkWriterConsume measures the full sink path: buffering, block
+// encode, file append and checkpoint rename, amortized per record.
+func BenchmarkWriterConsume(b *testing.B) {
+	recs := benchRecords(DefaultBlockSize)
+	w, err := Create(filepath.Join(b.TempDir(), "bench.wtl"), Meta{
+		FleetSeed: 1, Wearers: b.N + 1, SpanSeconds: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Abort()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := recs[i%DefaultBlockSize]
+		rec.Wearer = i
+		if err := w.Consume(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(1e9/perOp, "records/s")
+}

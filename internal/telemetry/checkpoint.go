@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"wiban/internal/desim"
+)
+
+// checkpoint is the sidecar write-ahead mark. Offset bytes of the data
+// file hold Blocks verified blocks covering wearers [0, NextWearer);
+// everything past Offset is an uncommitted tail to discard on resume.
+type checkpoint struct {
+	Offset     int64 `json:"offset"`
+	Blocks     int   `json:"blocks"`
+	NextWearer int   `json:"next_wearer"`
+	// SeedCheck binds the checkpoint to the fleet seed-derivation
+	// contract: it must equal desim.DeriveSeed(fleetSeed, 2·NextWearer),
+	// the scenario-stream seed of the wearer the resumed sweep starts at.
+	SeedCheck int64 `json:"seed_check"`
+}
+
+// CheckpointPath is the sidecar path for a store at path.
+func CheckpointPath(path string) string { return path + ".ckpt" }
+
+// writeCheckpoint atomically replaces the sidecar (write temp, rename) so
+// a kill mid-write leaves either the old or the new checkpoint, never a
+// torn one.
+func (w *Writer) writeCheckpoint() error {
+	ck := checkpoint{
+		Offset:     w.offset,
+		Blocks:     w.blocks,
+		NextWearer: w.next - len(w.buf), // committed records only
+		SeedCheck:  desim.DeriveSeed(w.meta.FleetSeed, 2*uint64(w.next-len(w.buf))),
+	}
+	blob, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("telemetry: checkpoint: %w", err)
+	}
+	tmp := CheckpointPath(w.path) + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return fmt.Errorf("telemetry: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, CheckpointPath(w.path)); err != nil {
+		return fmt.Errorf("telemetry: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// readCheckpoint loads and validates the sidecar against meta. A
+// mismatched SeedCheck means the checkpoint belongs to a different run
+// (or the seed was tampered with); the caller then falls back to a block
+// scan.
+func readCheckpoint(path string, meta Meta) (checkpoint, error) {
+	var ck checkpoint
+	blob, err := os.ReadFile(CheckpointPath(path))
+	if err != nil {
+		return ck, err
+	}
+	if err := json.Unmarshal(blob, &ck); err != nil {
+		return ck, fmt.Errorf("%w: checkpoint: %v", ErrCorrupt, err)
+	}
+	if ck.NextWearer < 0 || ck.NextWearer > meta.Wearers || ck.Blocks < 0 {
+		return ck, fmt.Errorf("%w: implausible checkpoint %+v", ErrCorrupt, ck)
+	}
+	if want := desim.DeriveSeed(meta.FleetSeed, 2*uint64(ck.NextWearer)); ck.SeedCheck != want {
+		return ck, fmt.Errorf("%w: checkpoint seed check %d != derived %d (checkpoint from a different run?)",
+			ErrCorrupt, ck.SeedCheck, want)
+	}
+	return ck, nil
+}

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Reader iterates a store's records in wearer order, one decoded block in
+// memory at a time — reading a million-wearer store costs one block of
+// RAM, not the file size. When a valid checkpoint sidecar exists the
+// reader trusts it and stops at its offset (bytes past it are an
+// uncommitted tail); otherwise it verifies frame by frame and stops at
+// the first damaged one, reporting the cut via Truncated.
+type Reader struct {
+	f       *os.File
+	meta    Meta
+	pos     int64
+	limit   int64 // exclusive end of trusted bytes; file size without a checkpoint
+	ckValid bool
+	// decoded block being drained
+	block []Record
+	bi    int
+	// running totals
+	blocks    int
+	records   int
+	rawBytes  int64
+	size      int64
+	truncated bool
+}
+
+// Open opens the store at path for reading. It may be called on a store a
+// live Writer is still appending to: the checkpoint pins the readable
+// prefix.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: open: %w", err)
+	}
+	meta, hdrLen, err := readHeaderFile(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Read the checkpoint before statting: a live writer commits the
+	// block first and renames the checkpoint second, so in this order a
+	// valid checkpoint's offset is always within the observed size — the
+	// reverse order could see a fresh checkpoint past a stale size and
+	// wrongly degrade to truncated-scan mode.
+	ck, ckErr := readCheckpoint(path, meta)
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("telemetry: open: %w", err)
+	}
+	r := &Reader{f: f, meta: meta, pos: hdrLen, limit: st.Size(), size: st.Size()}
+	if ckErr == nil && ck.Offset >= hdrLen && ck.Offset <= st.Size() {
+		r.limit = ck.Offset
+		r.ckValid = true
+	}
+	return r, nil
+}
+
+// Meta returns the store's header metadata.
+func (r *Reader) Meta() Meta { return r.meta }
+
+// Next returns the next record, or io.EOF after the last committed one.
+// Without a checkpoint, a damaged frame ends iteration early (Truncated
+// reports that) rather than erroring: it is indistinguishable from a
+// killed run's uncommitted tail. Inside a checkpointed prefix damage is
+// an error — the checkpoint promised those bytes.
+func (r *Reader) Next() (Record, error) {
+	for r.bi >= len(r.block) {
+		if r.pos >= r.limit {
+			return Record{}, io.EOF
+		}
+		recs, end, err := readFrameAt(r.f, r.pos, r.limit)
+		if err != nil || len(recs) == 0 || recs[0].Wearer != r.records {
+			if r.ckValid {
+				if err == nil {
+					err = fmt.Errorf("%w: non-contiguous wearer indices", ErrCorrupt)
+				}
+				return Record{}, err
+			}
+			r.truncated = true
+			r.pos = r.limit
+			return Record{}, io.EOF
+		}
+		r.block, r.bi = recs, 0
+		r.blocks++
+		r.records += len(recs)
+		for i := range recs {
+			r.rawBytes += int64(recs[i].RawSize())
+		}
+		r.pos = end
+	}
+	rec := r.block[r.bi]
+	r.bi++
+	return rec, nil
+}
+
+// Blocks and Records report how much of the store has been iterated so
+// far; after draining to io.EOF they cover the whole committed prefix.
+func (r *Reader) Blocks() int  { return r.blocks }
+func (r *Reader) Records() int { return r.records }
+
+// RawBytes is the flat fixed-width size of every record iterated so far —
+// the numerator of the store's compression ratio.
+func (r *Reader) RawBytes() int64 { return r.rawBytes }
+
+// StoredBytes is the total file size including header and framing.
+func (r *Reader) StoredBytes() int64 { return r.size }
+
+// Truncated reports whether iteration ended at a damaged frame instead of
+// clean end-of-data (only possible without a checkpoint sidecar).
+func (r *Reader) Truncated() bool { return r.truncated }
+
+// Checkpointed reports whether a valid checkpoint sidecar bounded the
+// read.
+func (r *Reader) Checkpointed() bool { return r.ckValid }
+
+// Close releases the underlying file.
+func (r *Reader) Close() error {
+	r.block = nil
+	return r.f.Close()
+}

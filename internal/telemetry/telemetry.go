@@ -1,0 +1,130 @@
+// Package telemetry is the streaming fleet-telemetry store: an
+// append-only, columnar, CRC-protected file format the fleet engine
+// writes one compact record into per completed wearer, so a
+// million-wearer sweep never holds more than one block of results in
+// memory and an interrupted sweep resumes from its last committed block.
+//
+// # File format
+//
+// A store is a single file:
+//
+//	header := magic "WBTL1\x00" | uvarint len(metaJSON) | metaJSON | crc32(metaJSON)
+//	block  := magic "WBLK" | uint32 len(payload) | payload | crc32(payload)
+//	file   := header block*
+//
+// All fixed-width integers are little-endian; crc32 is IEEE. Records are
+// strictly ordered by wearer index starting at 0, BlockSize records per
+// block (the final block may be short). A block payload is columnar:
+//
+//	uvarint firstWearer | uvarint records | uvarint totalNodes
+//	per-record columns: nodeCount, events, hubRxBits (zigzag-delta
+//	    varint) and hubUtilization (XOR-prev varint of float bits)
+//	flattened per-node columns: packetsGenerated, packetsDelivered,
+//	    packetsDropped, transmissions, bitsDelivered (zigzag-delta
+//	    varint); projectedLife, latencyP50, latencyP99 (XOR-prev varint);
+//	    perpetual, died (bit-packed)
+//
+// Column codecs live in wiban/internal/compress (AppendDeltaInts,
+// AppendXorFloats, PackBools).
+//
+// # Checkpoint and resume semantics
+//
+// The writer keeps a sidecar checkpoint at <path>.ckpt, rewritten
+// atomically (write-temp-then-rename) after every committed block — a
+// write-ahead mark that the data file is valid up to Offset and that the
+// next record to arrive is NextWearer. The checkpoint also stores
+// SeedCheck = desim.DeriveSeed(meta.FleetSeed, 2·NextWearer) — the
+// scenario-stream seed of the next wearer under the fleet layer's pinned
+// stream-ID mapping — so a checkpoint pasted next to the wrong data file
+// (or a tampered fleet seed) is rejected instead of silently resuming a
+// different population.
+//
+// A killed process loses at most the tail records buffered for the
+// not-yet-committed block: Resume truncates the data file back to the
+// checkpointed offset and the fleet engine re-simulates from NextWearer.
+// Because every per-wearer simulation is a pure function of
+// (fleetSeed, wearer), the resumed sweep reproduces the interrupted one
+// bit-for-bit, and the re-aggregated report carries the identical
+// fingerprint — the resume golden test in internal/fleet pins that.
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DefaultBlockSize is the record count per committed block. At ~40–70
+// encoded bytes per wearer a block is a few tens of kilobytes — small
+// enough that a kill loses under a thousand re-simulatable wearers, large
+// enough that delta columns amortize their first-value cost.
+const DefaultBlockSize = 1024
+
+// ErrCorrupt reports a store whose framing, CRC or column payload does
+// not decode.
+var ErrCorrupt = errors.New("telemetry: corrupt store")
+
+// Meta identifies the sweep a store belongs to. It is written once in the
+// file header; Resume and the iobtrace CLI use it to re-derive the run.
+type Meta struct {
+	// FleetSeed is the fleet seed every per-wearer seed derives from.
+	FleetSeed int64 `json:"fleet_seed"`
+	// Wearers is the target population of the sweep (the store holds
+	// records for wearers [0, NextWearer) ⊆ [0, Wearers)).
+	Wearers int `json:"wearers"`
+	// SpanSeconds is the simulated span per wearer.
+	SpanSeconds float64 `json:"span_seconds"`
+	// Scenario is an opaque tag describing the scenario generator's
+	// parameters. Resume refuses a store whose tag differs from the
+	// caller's, since a changed scenario would splice two different
+	// populations into one file.
+	Scenario string `json:"scenario,omitempty"`
+	// BlockSize is the records-per-block the writer commits at; 0 means
+	// DefaultBlockSize.
+	BlockSize int `json:"block_size"`
+}
+
+func (m *Meta) validate() error {
+	if m.Wearers <= 0 {
+		return fmt.Errorf("telemetry: non-positive wearer count %d", m.Wearers)
+	}
+	if m.SpanSeconds <= 0 {
+		return fmt.Errorf("telemetry: non-positive span %g", m.SpanSeconds)
+	}
+	if m.BlockSize < 0 {
+		return fmt.Errorf("telemetry: negative block size %d", m.BlockSize)
+	}
+	return nil
+}
+
+// NodeRecord is the per-node slice of a wearer's telemetry: exactly the
+// fields fleet-level aggregation consumes, in simulation units (seconds
+// for durations).
+type NodeRecord struct {
+	PacketsGenerated int64
+	PacketsDelivered int64
+	PacketsDropped   int64
+	Transmissions    int64
+	BitsDelivered    int64
+	ProjectedLife    float64 // seconds
+	LatencyP50       float64 // seconds
+	LatencyP99       float64 // seconds
+	Perpetual        bool
+	Died             bool
+}
+
+// Record is one wearer's telemetry. Records enter the store in strictly
+// increasing Wearer order with no gaps.
+type Record struct {
+	Wearer         int
+	Events         uint64
+	HubRxBits      int64
+	HubUtilization float64
+	Nodes          []NodeRecord
+}
+
+// RawSize is the flat fixed-width encoding size of the record in bytes
+// (8 bytes per integer/float column value, 1 bit per flag, rounded up per
+// record); the compression ratio iobtrace reports is relative to this.
+func (r *Record) RawSize() int {
+	return 3*8 + len(r.Nodes)*(8*8+1)
+}

@@ -1,0 +1,294 @@
+package telemetry
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// testRecord builds a deterministic, mildly adversarial record for wearer
+// w: varying node counts (including zero), negative-delta traffic
+// columns, repeated and NaN-free float columns.
+func testRecord(w int) Record {
+	rec := Record{
+		Wearer:         w,
+		Events:         uint64(1000 + 7*w),
+		HubRxBits:      int64(1e6) - int64(w)*13,
+		HubUtilization: 0.25 + float64(w%4)*0.125,
+	}
+	for j := 0; j < w%4; j++ {
+		rec.Nodes = append(rec.Nodes, NodeRecord{
+			PacketsGenerated: int64(100 - w%50),
+			PacketsDelivered: int64(90 - w%50),
+			PacketsDropped:   int64(w % 7),
+			Transmissions:    int64(110 + j),
+			BitsDelivered:    int64(8000 * (j + 1)),
+			ProjectedLife:    3600 * float64(1+w%5),
+			LatencyP50:       0.010 + float64(j)*0.001,
+			LatencyP99:       0.040,
+			Perpetual:        (w+j)%3 == 0,
+			Died:             (w+j)%11 == 0,
+		})
+	}
+	return rec
+}
+
+func testMeta(wearers, blockSize int) Meta {
+	return Meta{FleetSeed: 42, Wearers: wearers, SpanSeconds: 30, Scenario: "test-gen v1", BlockSize: blockSize}
+}
+
+// writeStore writes records [0, n) and returns the store path.
+func writeStore(t *testing.T, n, blockSize int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.wtl")
+	w, err := Create(path, testMeta(n, blockSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Consume(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// drain reads every record, asserting wearer order.
+func drain(t *testing.T, r *Reader) []Record {
+	t.Helper()
+	var recs []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return recs
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Wearer != len(recs) {
+			t.Fatalf("wearer %d at position %d", rec.Wearer, len(recs))
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// TestStoreRoundTrip writes across several block boundaries plus a short
+// final block and reads everything back bit-identically.
+func TestStoreRoundTrip(t *testing.T) {
+	const n, blockSize = 37, 8 // 4 full blocks + 5-record tail
+	path := writeStore(t, n, blockSize)
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.Meta(); got != testMeta(n, blockSize) {
+		t.Fatalf("meta round trip: %+v", got)
+	}
+	recs := drain(t, r)
+	if len(recs) != n {
+		t.Fatalf("read %d records, wrote %d", len(recs), n)
+	}
+	for i := range recs {
+		want := testRecord(i)
+		if len(want.Nodes) == 0 {
+			want.Nodes = nil
+		}
+		if len(recs[i].Nodes) == 0 {
+			recs[i].Nodes = nil
+		}
+		if !reflect.DeepEqual(recs[i], want) {
+			t.Fatalf("record %d: got %+v want %+v", i, recs[i], want)
+		}
+	}
+	if r.Blocks() != 5 || r.Records() != n || !r.Checkpointed() || r.Truncated() {
+		t.Errorf("blocks=%d records=%d ck=%v trunc=%v", r.Blocks(), r.Records(), r.Checkpointed(), r.Truncated())
+	}
+}
+
+// TestResumeAfterKill aborts mid-run at a block boundary and mid-block,
+// then checks Resume lands exactly on the committed prefix.
+func TestResumeAfterKill(t *testing.T) {
+	for _, kill := range []struct {
+		name          string
+		written, want int
+	}{
+		{"at block boundary", 16, 16},
+		{"mid-block", 21, 16}, // 5 buffered records lost
+		{"before first block", 3, 0},
+	} {
+		t.Run(kill.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "run.wtl")
+			w, err := Create(path, testMeta(100, 8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < kill.written; i++ {
+				if err := w.Consume(testRecord(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w.Abort(); err != nil {
+				t.Fatal(err)
+			}
+			w2, err := Resume(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w2.NextWearer() != kill.want {
+				t.Fatalf("NextWearer = %d, want %d", w2.NextWearer(), kill.want)
+			}
+			// Finish the run from the resume point and verify the store.
+			for i := kill.want; i < 100; i++ {
+				if err := w2.Consume(testRecord(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			r, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			if recs := drain(t, r); len(recs) != 100 {
+				t.Fatalf("resumed store holds %d records, want 100", len(recs))
+			}
+		})
+	}
+}
+
+// TestResumeWithoutCheckpoint deletes the sidecar and appends garbage;
+// the scan fallback must trust exactly the CRC-verified prefix.
+func TestResumeWithoutCheckpoint(t *testing.T) {
+	path := writeStore(t, 32, 8)
+	if err := os.Remove(CheckpointPath(path)); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0); err != nil {
+		t.Fatal(err)
+	} else {
+		f.Write([]byte("WBLK\xff\xff garbage tail not a real frame"))
+		f.Close()
+	}
+	w, err := Resume(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Abort()
+	if w.NextWearer() != 32 || w.Blocks() != 4 {
+		t.Fatalf("scan fallback: next=%d blocks=%d, want 32/4", w.NextWearer(), w.Blocks())
+	}
+	// The garbage tail must be gone: reopening for read sees a clean
+	// checkpointed store.
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if recs := drain(t, r); len(recs) != 32 || r.Truncated() {
+		t.Fatalf("after scan-resume: %d records, truncated=%v", len(recs), r.Truncated())
+	}
+}
+
+// TestCheckpointSeedCheck tampers the sidecar's NextWearer; the seed
+// check must reject it and fall back to the (correct) scan.
+func TestCheckpointSeedCheck(t *testing.T) {
+	path := writeStore(t, 24, 8)
+	ck, err := os.ReadFile(CheckpointPath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bump next_wearer without recomputing seed_check.
+	if !strings.Contains(string(ck), `"next_wearer":24`) {
+		t.Fatalf("unexpected checkpoint %s", ck)
+	}
+	tampered := []byte(strings.Replace(string(ck), `"next_wearer":24`, `"next_wearer":16`, 1))
+	if err := os.WriteFile(CheckpointPath(path), tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readCheckpoint(path, testMeta(24, 8)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("tampered checkpoint accepted: %v", err)
+	}
+	w, err := Resume(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Abort()
+	if w.NextWearer() != 24 {
+		t.Fatalf("resume after tamper: next=%d, want 24 via scan", w.NextWearer())
+	}
+}
+
+// TestWriterRejectsDisorder covers the ordering and population guards.
+func TestWriterRejectsDisorder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.wtl")
+	w, err := Create(path, testMeta(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Abort()
+	if err := w.Consume(testRecord(1)); err == nil {
+		t.Error("out-of-order first record accepted")
+	}
+	for i := 0; i < 4; i++ {
+		if err := w.Consume(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Consume(testRecord(4)); err == nil {
+		t.Error("record past population accepted")
+	}
+}
+
+// TestReaderRejectsCorruptPrefix flips one payload byte inside the
+// checkpointed prefix: Next must surface ErrCorrupt, not truncate.
+func TestReaderRejectsCorruptPrefix(t *testing.T) {
+	path := writeStore(t, 16, 8)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-20] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var lastErr error
+	for {
+		_, err := r.Next()
+		if err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if !errors.Is(lastErr, ErrCorrupt) {
+		t.Fatalf("corrupt checkpointed block: %v, want ErrCorrupt", lastErr)
+	}
+}
+
+// TestCreateValidatesMeta covers header-level validation.
+func TestCreateValidatesMeta(t *testing.T) {
+	dir := t.TempDir()
+	for name, meta := range map[string]Meta{
+		"no wearers": {Wearers: 0, SpanSeconds: 1},
+		"no span":    {Wearers: 1, SpanSeconds: 0},
+		"neg block":  {Wearers: 1, SpanSeconds: 1, BlockSize: -1},
+	} {
+		if _, err := Create(filepath.Join(dir, name), meta); err == nil {
+			t.Errorf("%s: Create accepted %+v", name, meta)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"wiban/internal/compress"
+)
+
+// Writer appends wearer records to a store, committing a framed block
+// every Meta.BlockSize records and checkpointing after each commit. It
+// implements the fleet engine's Sink interface via Consume. Writers are
+// not safe for concurrent use; the fleet engine already serializes sink
+// calls into wearer-index order.
+type Writer struct {
+	f      *os.File
+	path   string
+	meta   Meta
+	next   int // next expected wearer index
+	blocks int
+	offset int64 // committed (checkpointed) data-file length
+	buf    []Record
+	nodes  []NodeRecord // backing arena so buffered records share one allocation
+	closed bool
+}
+
+// encodeHeader renders the file header for meta.
+func encodeHeader(meta Meta) ([]byte, error) {
+	blob, err := json.Marshal(meta)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: meta: %w", err)
+	}
+	hdr := append([]byte(fileMagic), compress.AppendUvarint(nil, uint64(len(blob)))...)
+	hdr = append(hdr, blob...)
+	return binary.LittleEndian.AppendUint32(hdr, crc32.ChecksumIEEE(blob)), nil
+}
+
+// Create starts a new store at path, truncating any existing file, and
+// immediately checkpoints the empty state so a kill before the first
+// block still resumes cleanly.
+func Create(path string, meta Meta) (*Writer, error) {
+	if meta.BlockSize == 0 {
+		meta.BlockSize = DefaultBlockSize
+	}
+	if err := meta.validate(); err != nil {
+		return nil, err
+	}
+	hdr, err := encodeHeader(meta)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: create: %w", err)
+	}
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("telemetry: write header: %w", err)
+	}
+	w := &Writer{f: f, path: path, meta: meta, offset: int64(len(hdr))}
+	if err := w.writeCheckpoint(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// Resume reopens an interrupted store for appending: it restores the last
+// checkpoint, discards any uncheckpointed tail bytes, and positions the
+// writer at NextWearer. When the checkpoint sidecar is missing or does
+// not match the store, it falls back to scanning the data file block by
+// block, trusting exactly the prefix whose CRCs verify.
+func Resume(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: resume: %w", err)
+	}
+	w, err := resume(f, path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+func resume(f *os.File, path string) (*Writer, error) {
+	meta, hdrLen, err := readHeaderFile(f)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: resume: %w", err)
+	}
+	size := st.Size()
+	w := &Writer{f: f, path: path, meta: meta}
+	ck, ckErr := readCheckpoint(path, meta)
+	switch {
+	case ckErr == nil && ck.Offset >= hdrLen && ck.Offset <= size:
+		w.offset, w.blocks, w.next = ck.Offset, ck.Blocks, ck.NextWearer
+	default:
+		// No (or implausible) checkpoint: rebuild one from the longest
+		// verifiable block prefix, one block in memory at a time.
+		w.offset = hdrLen
+		for w.offset < size {
+			recs, end, ferr := readFrameAt(f, w.offset, size)
+			if ferr != nil || len(recs) == 0 || recs[0].Wearer != w.next {
+				break // damaged or non-contiguous: uncommitted tail
+			}
+			w.next += len(recs)
+			w.blocks++
+			w.offset = end
+		}
+	}
+	if err := w.f.Truncate(w.offset); err != nil {
+		return nil, fmt.Errorf("telemetry: truncate to checkpoint: %w", err)
+	}
+	if _, err := w.f.Seek(w.offset, 0); err != nil {
+		return nil, fmt.Errorf("telemetry: resume seek: %w", err)
+	}
+	return w, w.writeCheckpoint()
+}
+
+// Meta returns the store's header metadata.
+func (w *Writer) Meta() Meta { return w.meta }
+
+// NextWearer is the next record index the writer expects — equivalently,
+// the number of committed-or-buffered records, and after Resume the index
+// the interrupted sweep continues from.
+func (w *Writer) NextWearer() int { return w.next }
+
+// Blocks reports committed blocks.
+func (w *Writer) Blocks() int { return w.blocks }
+
+// Consume appends one wearer record; it implements the fleet engine's
+// Sink interface. Records must arrive in strict wearer order. The writer
+// copies the record's node slice, so callers may reuse theirs.
+func (w *Writer) Consume(rec Record) error {
+	if w.closed {
+		return fmt.Errorf("telemetry: write to closed store %s", w.path)
+	}
+	if rec.Wearer != w.next {
+		return fmt.Errorf("telemetry: out-of-order record: wearer %d, expected %d", rec.Wearer, w.next)
+	}
+	if rec.Wearer >= w.meta.Wearers {
+		return fmt.Errorf("telemetry: wearer %d past population %d", rec.Wearer, w.meta.Wearers)
+	}
+	start := len(w.nodes)
+	w.nodes = append(w.nodes, rec.Nodes...)
+	rec.Nodes = w.nodes[start:len(w.nodes):len(w.nodes)]
+	w.buf = append(w.buf, rec)
+	w.next++
+	if len(w.buf) >= w.meta.BlockSize {
+		return w.commit()
+	}
+	return nil
+}
+
+// commit encodes the buffered records as one block, appends it, and
+// advances the checkpoint past it.
+func (w *Writer) commit() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	frame := encodeBlock(w.buf)
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("telemetry: write block: %w", err)
+	}
+	w.offset += int64(len(frame))
+	w.blocks++
+	w.buf = w.buf[:0]
+	w.nodes = w.nodes[:0]
+	return w.writeCheckpoint()
+}
+
+// Flush commits any buffered records as a short block. The fleet engine
+// calls it (via Close) when a sweep completes, so only a kill — never a
+// clean finish — loses tail records.
+func (w *Writer) Flush() error { return w.commit() }
+
+// Close flushes and closes the store.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	if err := w.commit(); err != nil {
+		w.f.Close()
+		return err
+	}
+	w.closed = true
+	return w.f.Close()
+}
+
+// Abort closes the file without flushing buffered records or advancing
+// the checkpoint — the in-process equivalent of a kill, used by the
+// resume tests and fatal paths that must not mask an earlier error.
+func (w *Writer) Abort() error {
+	w.closed = true
+	return w.f.Close()
+}
