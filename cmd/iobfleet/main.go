@@ -10,11 +10,27 @@
 //	iobfleet -wearers 500 -ble-frac 0.5 -drain       # half the fleet on BLE, live batteries
 //	iobfleet -wearers 1000000 -out sweep.wtl         # stream records to a telemetry store
 //	iobfleet -wearers 1000000 -out sweep.wtl -resume # continue a killed sweep
+//	iobfleet -wearers 1000 -cells 50 -ble-frac 0.5   # spectrum-coupled: 20 wearers/cell
+//	iobfleet -wearers 1000 -density 40 -ble-frac 1   # same, by target wearers-per-cell
 //
 // The aggregate report is a pure function of -seed: reruns with any
 // -workers value print identical statistics (only the throughput line
 // varies), and the fingerprint line makes that easy to diff. Aggregation
 // streams: memory stays bounded by the worker count, not the population.
+//
+// With -cells (or -density, which derives the cell count from the
+// population), wearers stop being independent: each hashes into a
+// spatial cell, the cells' offered RF load is reduced in a deterministic
+// first phase, and every RF node's loss is inflated by its cell's
+// congestion (wiban/internal/spectrum) while EQS/MQS body-channel links
+// ride free. A density sweep reproduces the paper's RF-congestion story
+// at fleet scale — rerun with rising -density and watch the RF arm's
+// delivery rate and battery life fall while the Wi-R arm holds:
+//
+//	for d in 1 4 16 64; do iobfleet -wearers 1024 -density $d -ble-frac 0.5; done
+//
+// Two-phase runs keep every determinism contract: the fingerprint is
+// byte-identical for any -workers value and across kill/-resume.
 //
 // With -out, every wearer's record is also appended to a telemetry store
 // (block-compressed, CRC-protected, checkpointed — see
@@ -29,12 +45,25 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"wiban/internal/fleet"
+	"wiban/internal/spectrum"
 	"wiban/internal/telemetry"
 	"wiban/internal/units"
 )
+
+// cellsForDensity derives the cell count hitting a target wearers-per-
+// cell: ceil(wearers/density), never below 1. Fractional densities are
+// meaningful — -density 0.5 asks for twice as many cells as wearers.
+func cellsForDensity(wearers int, density float64) int {
+	cells := int(math.Ceil(float64(wearers) / density))
+	if cells < 1 {
+		return 1
+	}
+	return cells
+}
 
 func main() {
 	var (
@@ -49,6 +78,9 @@ func main() {
 		dropProb   = flag.Float64("drop-prob", 0.25, "probability each non-primary node is absent")
 		bleFrac    = flag.Float64("ble-frac", 0.25, "fraction of wearers on BLE 4.2 radios")
 		drain      = flag.Bool("drain", false, "enable in-run battery drain and node death")
+
+		cells   = flag.Int("cells", 0, "spatial cells sharing RF spectrum (0 = uncoupled wearers)")
+		density = flag.Float64("density", 0, "target wearers per cell; derives -cells = ceil(wearers/density)")
 
 		outPath   = flag.String("out", "", "stream per-wearer records to a telemetry store at this path")
 		resume    = flag.Bool("resume", false, "resume the interrupted sweep checkpointed in -out")
@@ -80,6 +112,22 @@ func main() {
 		Span:     units.Duration(*durSec),
 		Workers:  *workers,
 	}
+	scenarioTag := gen.Tag()
+	if *density != 0 {
+		if !(*density > 0) { // also catches NaN
+			fail(2, "non-positive density %v", *density)
+		}
+		if *cells != 0 {
+			fail(2, "-cells and -density are two spellings of the same knob; pass one")
+		}
+		*cells = cellsForDensity(*wearers, *density)
+	}
+	if *cells > 0 {
+		f.Coupling = &fleet.Coupling{Cells: *cells, Model: spectrum.Default()}
+		scenarioTag += ";" + f.Coupling.Tag()
+	} else if *cells < 0 {
+		fail(2, "negative cell count %d", *cells)
+	}
 	if *resume && *outPath == "" {
 		fail(2, "-resume requires -out")
 	}
@@ -92,8 +140,10 @@ func main() {
 			FleetSeed:   f.Seed,
 			Wearers:     f.Wearers,
 			SpanSeconds: float64(f.Span),
-			Scenario:    gen.Tag(),
+			Scenario:    scenarioTag,
 			BlockSize:   *blockSize,
+			Version:     telemetry.CurrentFormat,
+			Cells:       *cells,
 		}
 		var err error
 		if *resume {
@@ -102,6 +152,9 @@ func main() {
 			}
 			got := store.Meta()
 			meta.BlockSize = got.BlockSize // block size is the store's to keep
+			if got.Cells == 0 && *cells == 0 {
+				meta.Version = got.Version // an uncoupled legacy store may stay v0
+			}
 			if got != meta {
 				store.Abort()
 				fail(2, "resume flags describe a different sweep than %s:\n  store: %+v\n  flags: %+v", *outPath, got, meta)

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"wiban/internal/fleet"
+	"wiban/internal/spectrum"
 	"wiban/internal/telemetry"
 	"wiban/internal/units"
 )
@@ -113,5 +114,118 @@ func TestOutResumeFlow(t *testing.T) {
 	}
 	if agg.Report().Fingerprint() != want.Fingerprint() {
 		t.Fatal("resumed CLI flow diverged from uninterrupted run")
+	}
+}
+
+// TestCoupledOutResumeFlow mirrors main's -cells composition: a
+// spectrum-coupled sweep streamed to a v1 store, killed mid-block,
+// resumed with matching flags — the fingerprint must equal an
+// uninterrupted coupled run's, which requires the store to replay the
+// cell and foreign-load columns and the engine to recompute phase 1 over
+// the full population.
+func TestCoupledOutResumeFlow(t *testing.T) {
+	gen := &fleet.Generator{Base: fleet.DefaultBase(), PERSpread: 0.5, BLEFraction: 0.5}
+	if err := gen.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mkFleet := func() *fleet.Fleet {
+		return &fleet.Fleet{
+			Wearers: 40, Seed: 11, Scenario: gen.Scenario(),
+			Span: 5 * units.Second, Workers: 2,
+			Coupling: &fleet.Coupling{Cells: 4, Model: spectrum.Default()},
+		}
+	}
+	meta := telemetry.Meta{
+		FleetSeed: 11, Wearers: 40, SpanSeconds: 5,
+		Scenario:  gen.Tag() + ";" + mkFleet().Coupling.Tag(),
+		BlockSize: 8, Version: telemetry.CurrentFormat, Cells: 4,
+	}
+
+	want, _, err := mkFleet().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Cells) != 4 {
+		t.Fatalf("coupled reference run has %d cell stats", len(want.Cells))
+	}
+
+	path := filepath.Join(t.TempDir(), "coupled.wtl")
+	store, err := telemetry.Create(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	killer := fleet.SinkFunc(func(rec telemetry.Record) error {
+		if seen == 21 {
+			return fmt.Errorf("simulated kill")
+		}
+		seen++
+		return store.Consume(rec)
+	})
+	if _, err := mkFleet().Stream(killer); err == nil {
+		t.Fatal("kill-sink did not abort")
+	}
+	if err := store.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := telemetry.Resume(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resumed.Meta(); got != meta {
+		t.Fatalf("store meta %+v, flags %+v — the guard in main would refuse its own store", got, meta)
+	}
+	// The meta guard must distinguish a different spectrum topology.
+	other := meta
+	other.Cells = 8
+	if resumed.Meta() == other {
+		t.Fatal("meta guard cannot tell different cell counts apart")
+	}
+	r, err := telemetry.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := fleet.NewStreamAggregator(5 * units.Second)
+	replayed, err := fleet.Replay(r, agg)
+	r.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != resumed.NextWearer() {
+		t.Fatalf("replayed %d, checkpoint %d", replayed, resumed.NextWearer())
+	}
+	f := mkFleet()
+	f.Start = resumed.NextWearer()
+	if _, err := f.Stream(fleet.Tee(resumed, agg)); err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Report().Fingerprint() != want.Fingerprint() {
+		t.Fatal("resumed coupled CLI flow diverged from uninterrupted run")
+	}
+}
+
+// TestDensityFlagDerivation pins the -density → -cells arithmetic main
+// uses: ceil(wearers/density), with density 1 giving every wearer its
+// own cell and fractional densities asking for more cells than wearers.
+func TestDensityFlagDerivation(t *testing.T) {
+	for _, c := range []struct {
+		wearers int
+		density float64
+		want    int
+	}{
+		{1000, 40, 25},
+		{1000, 1, 1000},
+		{1000, 3, 334},
+		{1000, 2.5, 400},
+		{1000, 0.5, 2000},
+		{7, 100, 1},
+	} {
+		if cells := cellsForDensity(c.wearers, c.density); cells != c.want {
+			t.Errorf("wearers=%d density=%g: cells=%d, want %d", c.wearers, c.density, cells, c.want)
+		}
 	}
 }

@@ -5,22 +5,32 @@
 // Usage:
 //
 //	iobtrace info   sweep.wtl             # header, blocks, compression
-//	iobtrace verify sweep.wtl             # CRC-scan every block
+//	iobtrace verify sweep.wtl             # CRC-scan every physical block
 //	iobtrace report sweep.wtl             # re-derive the aggregate report
+//	iobtrace cells  sweep.wtl             # per-cell interference report
 //	iobtrace wearer -w 123 sweep.wtl      # dump one wearer's record
 //
 // `report` replays the stored records through the same streaming
 // aggregator the live sweep used, so its fingerprint matches the one
 // iobfleet printed — the store is a complete, portable witness of the
-// run.
+// run. `verify` audits the physical file in strict mode: it ignores the
+// checkpoint sidecar (which a reader normally trusts to bound the
+// committed prefix) and exits non-zero if any byte of the file fails its
+// frame CRC — including damage a stale checkpoint would hide and torn
+// tails a kill left behind. `cells` renders the spectrum-coupled sweep's
+// per-cell congestion table (iobfleet -cells/-density): wearers, foreign
+// offered load, the equivalent RF link-budget penalty, delivery and
+// death counts per cell.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
+	"wiban/internal/channel"
 	"wiban/internal/compress"
 	"wiban/internal/fleet"
 	"wiban/internal/telemetry"
@@ -28,7 +38,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: iobtrace <info|verify|report|wearer> [flags] <store.wtl>\n")
+	fmt.Fprintf(os.Stderr, "usage: iobtrace <info|verify|report|cells|wearer> [flags] <store.wtl>\n")
 	os.Exit(2)
 }
 
@@ -40,16 +50,21 @@ func main() {
 	var err error
 	switch cmd {
 	case "info":
-		err = withStore(cmd, args, nil, info)
+		err = withStore(cmd, args, nil, telemetry.Open, info)
 	case "verify":
-		err = withStore(cmd, args, nil, verify)
+		// Strict open: audit every physical byte, trust no checkpoint. A
+		// CRC-invalid file must exit non-zero even when the header parses
+		// and a (possibly stale) sidecar vouches for a shorter prefix.
+		err = withStore(cmd, args, nil, telemetry.OpenStrict, verify)
 	case "report":
-		err = withStore(cmd, args, nil, report)
+		err = withStore(cmd, args, nil, telemetry.Open, report)
+	case "cells":
+		err = withStore(cmd, args, nil, telemetry.Open, cells)
 	case "wearer":
 		var w int
 		err = withStore(cmd, args, func(fs *flag.FlagSet) {
 			fs.IntVar(&w, "w", 0, "wearer index to dump")
-		}, func(r *telemetry.Reader) error { return wearer(r, w) })
+		}, telemetry.Open, func(r *telemetry.Reader) error { return wearer(r, w) })
 	default:
 		usage()
 	}
@@ -60,8 +75,9 @@ func main() {
 }
 
 // withStore parses the subcommand's flags, opens the single positional
-// store argument and hands the reader to fn.
-func withStore(cmd string, args []string, defineFlags func(*flag.FlagSet), fn func(*telemetry.Reader) error) error {
+// store argument through the given opener and hands the reader to fn.
+func withStore(cmd string, args []string, defineFlags func(*flag.FlagSet),
+	open func(string) (*telemetry.Reader, error), fn func(*telemetry.Reader) error) error {
 	fs := flag.NewFlagSet("iobtrace "+cmd, flag.ExitOnError)
 	if defineFlags != nil {
 		defineFlags(fs)
@@ -70,7 +86,7 @@ func withStore(cmd string, args []string, defineFlags func(*flag.FlagSet), fn fu
 	if fs.NArg() != 1 {
 		usage()
 	}
-	r, err := telemetry.Open(fs.Arg(0))
+	r, err := open(fs.Arg(0))
 	if err != nil {
 		return err
 	}
@@ -102,6 +118,9 @@ func info(r *telemetry.Reader) error {
 	if m.Scenario != "" {
 		fmt.Printf("  scenario:    %s\n", m.Scenario)
 	}
+	if m.Cells > 0 {
+		fmt.Printf("  spectrum:    coupled, %d cells (format v%d)\n", m.Cells, m.Version)
+	}
 	fmt.Printf("  checkpoint:  valid=%t  complete=%t\n", r.Checkpointed(), n == m.Wearers)
 	fmt.Printf("  size:        %d bytes on disk, %d raw (%.2fx compression, %.1f B/wearer)\n",
 		r.StoredBytes(), r.RawBytes(),
@@ -110,12 +129,12 @@ func info(r *telemetry.Reader) error {
 }
 
 func verify(r *telemetry.Reader) error {
+	// The reader is strict (OpenStrict): any damaged, torn or
+	// out-of-place frame — anywhere in the physical file — surfaces as a
+	// hard error from Next, never as a silent truncation.
 	n, err := drainCount(r)
 	if err != nil {
 		return fmt.Errorf("block %d: %w", r.Blocks(), err)
-	}
-	if r.Truncated() {
-		return fmt.Errorf("store damaged after %d blocks (%d records): uncheckpointed tail is not recoverable", r.Blocks(), n)
 	}
 	fmt.Printf("ok: %d blocks, %d records, every CRC verified\n", r.Blocks(), n)
 	if n < r.Meta().Wearers {
@@ -136,6 +155,40 @@ func report(r *telemetry.Reader) error {
 		fmt.Printf("  (partial: %d/%d wearers committed)\n", n, r.Meta().Wearers)
 	}
 	fmt.Printf("  fingerprint %s (seed %d)\n", rep.Fingerprint()[:16], r.Meta().FleetSeed)
+	return nil
+}
+
+// cells renders the per-cell interference table of a spectrum-coupled
+// sweep: who shared a cell, how loud it was, and what that did to
+// delivery. The dB column translates each cell's mean foreign load into
+// the equivalent RF link-budget penalty via the load-aware congestion
+// curve (wiban/internal/channel).
+func cells(r *telemetry.Reader) error {
+	m := r.Meta()
+	agg := fleet.NewStreamAggregator(units.Duration(m.SpanSeconds))
+	n, err := fleet.Replay(r, agg)
+	if err != nil {
+		return err
+	}
+	rep := agg.Report()
+	if len(rep.Cells) == 0 {
+		return fmt.Errorf("store holds no cell data — an uncoupled sweep (rerun iobfleet with -cells or -density)")
+	}
+	path := channel.DefaultBLEPath()
+	fmt.Printf("spectrum cells: %d populated of %d (%d wearers, %d nodes)\n",
+		len(rep.Cells), m.Cells, n, rep.Nodes)
+	fmt.Printf("%6s %8s %6s %12s %9s %10s %6s\n",
+		"cell", "wearers", "nodes", "foreign[erl]", "rise[dB]", "delivery", "died")
+	for _, c := range rep.Cells {
+		// CongestionLossDB wants the band-busy fraction, not offered
+		// load: an unslotted channel offered G erlangs is busy 1−e^(−G)
+		// of the time, which keeps the column discriminating well past
+		// G = 1 instead of pinning at the curve's saturation clamp.
+		busy := 1 - math.Exp(-c.MeanForeignLoad)
+		fmt.Printf("%6d %8d %6d %12.4f %9.2f %10.4f %6d\n",
+			c.Cell, c.Wearers, c.Nodes, c.MeanForeignLoad,
+			path.CongestionLossDB(busy), c.MeanDelivery, c.Died)
+	}
 	return nil
 }
 

@@ -1,11 +1,17 @@
 package main
 
 import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"wiban/internal/desim"
 	"wiban/internal/fleet"
 	"wiban/internal/telemetry"
 	"wiban/internal/units"
@@ -94,5 +100,163 @@ func TestVerifyFlagsCorruption(t *testing.T) {
 	}
 	if err := verify(open(t, path)); err == nil {
 		t.Fatal("verify accepted a corrupted store")
+	}
+}
+
+// TestMain lets tests re-exec this binary as the real iobtrace command,
+// pinning actual process exit codes rather than in-process error values.
+func TestMain(m *testing.M) {
+	if os.Getenv("IOBTRACE_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0) // main returned without failing
+	}
+	os.Exit(m.Run())
+}
+
+// corruptPastStaleCheckpoint forges a valid sidecar that only vouches
+// for the store's first block, then flips a byte in its final block —
+// the damage a checkpoint-trusting verify used to miss.
+func corruptPastStaleCheckpoint(t *testing.T, path string, blockSize int) {
+	t.Helper()
+	r := open(t, path)
+	meta := r.Meta()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := bytes.Index(data, []byte("WBLK"))
+	second := bytes.Index(data[first+4:], []byte("WBLK"))
+	if first < 0 || second < 0 {
+		t.Fatalf("store has fewer than two blocks (first=%d second=%d)", first, second)
+	}
+	ck := fmt.Sprintf(`{"offset":%d,"blocks":1,"next_wearer":%d,"seed_check":%d}`,
+		first+4+second, blockSize, desim.DeriveSeed(meta.FleetSeed, 2*uint64(blockSize)))
+	if err := os.WriteFile(telemetry.CheckpointPath(path), []byte(ck), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-6] ^= 0x20 // damage inside the final block, past the stale checkpoint
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVerifyFlagsCorruptionPastStaleCheckpoint is the regression pin for
+// the strict-verify fix: a CRC-invalid file must fail verification even
+// when the header parses and a stale-but-valid checkpoint sidecar vouches
+// for an earlier prefix. The checkpoint-trusting reader (what verify used
+// to run on) is demonstrably blind to the damage, so without OpenStrict
+// this test fails.
+func TestVerifyFlagsCorruptionPastStaleCheckpoint(t *testing.T) {
+	path, _ := writeSweep(t)
+	corruptPastStaleCheckpoint(t, path, 8)
+
+	// The damage hides from a checkpoint-trusting read…
+	blind := open(t, path)
+	for {
+		if _, err := blind.Next(); err != nil {
+			if err != io.EOF {
+				t.Fatalf("checkpoint-bounded reader surfaced the damage itself: %v", err)
+			}
+			break
+		}
+	}
+	// …but strict verify must catch it.
+	rs, err := telemetry.OpenStrict(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if err := verify(rs); err == nil {
+		t.Fatal("verify accepted a CRC-invalid store behind a stale checkpoint")
+	}
+}
+
+// TestVerifyExitCodes pins the command's actual process exit codes: 0 on
+// an intact store, non-zero once a byte flips — with and without the
+// checkpoint sidecar shielding the damage.
+func TestVerifyExitCodes(t *testing.T) {
+	bin, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(path string) int {
+		cmd := exec.Command(bin, "verify", path)
+		cmd.Env = append(os.Environ(), "IOBTRACE_RUN_MAIN=1")
+		var out strings.Builder
+		cmd.Stdout, cmd.Stderr = &out, &out
+		err := cmd.Run()
+		t.Logf("verify %s: %v\n%s", path, err, out.String())
+		if err == nil {
+			return 0
+		}
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatal(err)
+		}
+		return ee.ExitCode()
+	}
+
+	clean, _ := writeSweep(t)
+	if code := run(clean); code != 0 {
+		t.Fatalf("verify of an intact store exited %d", code)
+	}
+
+	stale, _ := writeSweep(t)
+	corruptPastStaleCheckpoint(t, stale, 8)
+	if code := run(stale); code == 0 {
+		t.Fatal("verify exited 0 on a CRC-invalid store behind a stale checkpoint")
+	}
+
+	flipped, _ := writeSweep(t)
+	data, err := os.ReadFile(flipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-9] ^= 0x40
+	if err := os.WriteFile(flipped, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run(flipped); code == 0 {
+		t.Fatal("verify exited 0 on a CRC-flipped store")
+	}
+}
+
+// TestCellsReport drives the per-cell subcommand against a coupled sweep
+// and checks an uncoupled store is refused with a helpful error.
+func TestCellsReport(t *testing.T) {
+	uncoupled, _ := writeSweep(t)
+	if err := cells(open(t, uncoupled)); err == nil || !strings.Contains(err.Error(), "uncoupled") {
+		t.Errorf("cells on an uncoupled store: err = %v", err)
+	}
+
+	// A miniature coupled sweep streamed to a v1 store.
+	f := &fleet.Fleet{
+		Wearers:  40,
+		Seed:     5,
+		Scenario: (&fleet.Generator{Base: fleet.DefaultBase(), BLEFraction: 1}).Scenario(),
+		Span:     5 * units.Second,
+		Workers:  2,
+		Coupling: &fleet.Coupling{Cells: 4},
+	}
+	path := filepath.Join(t.TempDir(), "coupled.wtl")
+	store, err := telemetry.Create(path, telemetry.Meta{
+		FleetSeed: f.Seed, Wearers: f.Wearers, SpanSeconds: float64(f.Span),
+		Scenario: "cells-test;" + f.Coupling.Tag(), BlockSize: 8,
+		Version: telemetry.CurrentFormat, Cells: f.Coupling.Cells,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Stream(store); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cells(open(t, path)); err != nil {
+		t.Errorf("cells: %v", err)
+	}
+	if err := info(open(t, path)); err != nil {
+		t.Errorf("info on coupled store: %v", err)
 	}
 }

@@ -15,20 +15,31 @@
 //     computing optimizer;
 //   - internal/bannet — the discrete-event network simulator (a reusable
 //     bannet.Sim per scenario; bannet.Run for one-shot runs);
-//   - internal/fleet — the population-scale engine: N independent wearer
-//     simulations across a worker pool (cmd/iobfleet drives it), with a
-//     scenario generator that spreads channel loss, batteries, harvesters
-//     and device mixes across the fleet, and deterministic streaming
+//   - internal/fleet — the population-scale engine: N wearer simulations
+//     across a worker pool (cmd/iobfleet drives it), with a scenario
+//     generator that spreads channel loss, batteries, harvesters and
+//     device mixes across the fleet, and deterministic streaming
 //     aggregation — completed runs flow through a Sink in wearer-index
 //     order (bounded reorder window, O(workers) memory) into online
 //     histogram distributions, and the same fleet seed yields a
 //     byte-identical report at any worker count, via splitmix64
-//     per-wearer seeds (desim.DeriveSeed);
+//     per-wearer seeds (desim.DeriveSeed). With a Coupling the engine
+//     runs two-phased: a deterministic per-cell offered-load reduction,
+//     then per-wearer kernels whose RF links carry their cell's
+//     collision loss (iobfleet -cells/-density sweeps);
+//   - internal/spectrum — cross-wearer co-channel interference: wearers
+//     hash into spatial cells, each cell sums its members' offered RF
+//     airtime in exact integer PPM, and a CSMA/ALOHA collision curve
+//     maps foreign load to per-attempt loss — RF degrades with fleet
+//     density while body-coupled EQS/MQS links ride free, the paper's
+//     shared-spectrum argument at fleet scale;
 //   - internal/telemetry — the streaming fleet-telemetry store
 //     (cmd/iobtrace inspects it): delta/bit-packed columnar blocks with
 //     CRC footers plus an atomically-renamed checkpoint sidecar, so a
 //     killed million-wearer sweep resumes from its last committed block
-//     (iobfleet -out/-resume) and re-derives a bit-identical fingerprint;
+//     (iobfleet -out/-resume) and re-derives a bit-identical
+//     fingerprint; format v1 stores each wearer's cell and foreign load
+//     so coupled sweeps replay exactly;
 //   - internal/figures — generators for every figure and table in the
 //     paper (also exposed through cmd/iobfig and the root benchmarks).
 //

@@ -45,6 +45,14 @@ type NodeConfig struct {
 	PacketBits int
 	// PER is the link packet error rate (from the PHY link budget).
 	PER float64
+	// CollisionPER is additional per-attempt loss from co-channel
+	// interference outside this network's control — cross-wearer
+	// collisions in a shared unlicensed band (see internal/spectrum).
+	// It combines with PER as 1−(1−PER)·(1−CollisionPER) at every
+	// transmission attempt but does not enter TDMA slot provisioning:
+	// the intra-BAN scheduler cannot see other bodies' traffic, which is
+	// exactly why dense RF deployments degrade.
+	CollisionPER float64
 	// MaxRetries bounds retransmissions before a packet is dropped.
 	MaxRetries int
 	// Inference, if non-nil, attaches an offloaded AI task to the node's

@@ -289,3 +289,59 @@ func TestMultiNodeScheduleSharing(t *testing.T) {
 		t.Error("unknown node lookup should be nil")
 	}
 }
+
+// TestCollisionPERDegradesLinkButNotSchedule: co-channel collision loss
+// (cross-wearer interference the TDMA scheduler cannot see) must cut
+// delivery and raise retransmissions at every attempt, while leaving the
+// schedule — which is provisioned from the link PER alone — untouched.
+func TestCollisionPERDegradesLinkButNotSchedule(t *testing.T) {
+	quiet := ecgNode(1, "ecg", radio.BLE42())
+	crowded := quiet
+	crowded.CollisionPER = 0.6
+
+	simQ, err := NewSim(Config{Seed: 31, Nodes: []NodeConfig{quiet}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simC, err := NewSim(Config{Seed: 31, Nodes: []NodeConfig{crowded}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := simQ.Schedule().SlotFor(1), simC.Schedule().SlotFor(1); a.CapacityBits != b.CapacityBits {
+		t.Fatalf("collision PER leaked into TDMA provisioning: slot %d vs %d bits",
+			a.CapacityBits, b.CapacityBits)
+	}
+
+	repQ, err := simQ.Run(10 * units.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repC, err := simC.Run(10 * units.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, c := repQ.NodeByName("ecg"), repC.NodeByName("ecg")
+	if c.DeliveryRate() >= q.DeliveryRate() {
+		t.Errorf("delivery under 60%% collisions (%.3f) not below quiet channel (%.3f)",
+			c.DeliveryRate(), q.DeliveryRate())
+	}
+	if c.Transmissions <= q.Transmissions {
+		t.Errorf("collisions should force retransmissions: %d attempts vs %d quiet",
+			c.Transmissions, q.Transmissions)
+	}
+	if c.TxEnergy <= q.TxEnergy {
+		t.Errorf("retransmissions should cost energy: %v vs %v", c.TxEnergy, q.TxEnergy)
+	}
+}
+
+// TestCollisionPERValidation: the combined loss domain is guarded like
+// PER itself.
+func TestCollisionPERValidation(t *testing.T) {
+	for _, bad := range []float64{-0.1, 1.0, 1.5} {
+		n := ecgNode(1, "x", radio.WiR())
+		n.CollisionPER = bad
+		if _, err := Run(Config{Nodes: []NodeConfig{n}}, units.Hour); err == nil {
+			t.Errorf("CollisionPER=%v accepted", bad)
+		}
+	}
+}

@@ -57,6 +57,7 @@ func (q *packetQueue) reset() { q.head, q.n = 0, 0 }
 // nodeState is the runtime state of one node.
 type nodeState struct {
 	cfg       NodeConfig
+	effPER    float64 // 1−(1−PER)·(1−CollisionPER), drawn per attempt
 	outRate   units.DataRate
 	queue     packetQueue
 	stats     NodeStats
@@ -176,6 +177,9 @@ func NewSim(cfg Config) (*Sim, error) {
 		if nc.PER < 0 || nc.PER >= 1 {
 			return nil, fmt.Errorf("bannet: node %q PER %v outside [0,1)", nc.Name, nc.PER)
 		}
+		if nc.CollisionPER < 0 || nc.CollisionPER >= 1 {
+			return nil, fmt.Errorf("bannet: node %q collision PER %v outside [0,1)", nc.Name, nc.CollisionPER)
+		}
 		if nc.Inference != nil && (nc.Inference.MACs <= 0 || nc.Inference.InputBits <= 0) {
 			return nil, fmt.Errorf("bannet: node %q has a degenerate inference spec", nc.Name)
 		}
@@ -185,6 +189,7 @@ func NewSim(cfg Config) (*Sim, error) {
 				nc.Name, out, nc.Radio.Goodput)
 		}
 		st := &nodeState{cfg: nc, outRate: out}
+		st.effPER = 1 - (1-nc.PER)*(1-nc.CollisionPER)
 		st.stats.Name = nc.Name
 		if nc.DrainBattery {
 			st.battState = energy.NewState(nc.Battery)
@@ -192,7 +197,9 @@ func NewSim(cfg Config) (*Sim, error) {
 		states = append(states, st)
 		// Slot sizing includes retransmission headroom: a link with packet
 		// error rate p needs ≈ 1/(1−p) attempts per delivered packet, plus
-		// 20% margin against burstiness.
+		// 20% margin against burstiness. Deliberately sized from the link
+		// PER alone, not CollisionPER: the TDMA scheduler can provision for
+		// its own channel but not for other wearers' interference.
 		demand := units.DataRate(float64(out) / (1 - nc.PER) * 1.2)
 		demands = append(demands, mac.Demand{NodeID: nc.ID, Rate: demand, PacketBits: nc.PacketBits})
 	}
@@ -291,7 +298,7 @@ func (s *Sim) Run(span units.Duration) (*Report, error) {
 				st.stats.TxEnergy += txE
 				st.airTime += air
 				st.stats.Transmissions++
-				if sim.Rand().Float64() >= st.cfg.PER {
+				if sim.Rand().Float64() >= st.effPER {
 					// Delivered.
 					lat := units.Duration((sim.Now() - p.created).Seconds())
 					st.latencies = append(st.latencies, lat)

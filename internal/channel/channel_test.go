@@ -242,3 +242,26 @@ func TestEQSvsRFSummary(t *testing.T) {
 			eqsLeak, rfLeak)
 	}
 }
+
+func TestRFCongestionLossCurve(t *testing.T) {
+	m := DefaultBLEPath()
+	if m.CongestionLossDB(0) != 0 || m.CongestionLossDB(-1) != 0 {
+		t.Error("idle band must cost 0 dB")
+	}
+	// 50% occupancy doubles the noise floor: 3 dB.
+	if got := m.CongestionLossDB(0.5); math.Abs(got-3.0103) > 0.001 {
+		t.Errorf("CongestionLossDB(0.5) = %.4f dB, want ≈ 3.01", got)
+	}
+	// Monotone increasing, finite at saturation (clamped at 99%).
+	prev := -1.0
+	for u := 0.0; u <= 1.0; u += 0.05 {
+		got := m.CongestionLossDB(u)
+		if got < prev {
+			t.Fatalf("curve not monotone at util %.2f", u)
+		}
+		prev = got
+	}
+	if sat := m.CongestionLossDB(1); math.IsInf(sat, 0) || sat != m.CongestionLossDB(0.99) {
+		t.Errorf("saturation must clamp: %v", sat)
+	}
+}

@@ -63,6 +63,26 @@ func (m *RFPath) LeakageGainDB(d units.Distance) float64 {
 	return -m.FreeSpacePathLossDB(d)
 }
 
+// CongestionLossDB is the load-aware RF loss curve: the equivalent
+// link-budget penalty when co-channel neighbors occupy a fraction util of
+// the shared band. Aggregate interference raises the receiver's
+// noise-plus-interference floor, and the SINR — hence the effective link
+// budget — degrades by 10·log10(1/(1−util)): 0 dB on an idle band, 3 dB
+// at 50% occupancy, unbounded as the band saturates (clamped at 99%
+// occupancy to keep the curve finite). Body-coupled EQS/MQS channels have
+// no such term — their medium is the wearer's own body, not a shared
+// band — which is the fleet-density half of the paper's RF argument; the
+// collision half lives in internal/spectrum.
+func (m *RFPath) CongestionLossDB(util float64) float64 {
+	if util <= 0 {
+		return 0
+	}
+	if util > 0.99 {
+		util = 0.99
+	}
+	return -10 * math.Log10(1-util)
+}
+
 // RangeForLossDB returns the distance at which free-space path loss reaches
 // lossDB — the radius of the paper's "room scale bubble" for a given link
 // budget.

@@ -117,12 +117,19 @@ func New(seed int64) *Simulator {
 // The mapping is pure and stable: it is part of the replayability contract
 // (recorded fleet fingerprints depend on it), so it must never change.
 func DeriveSeed(base int64, stream uint64) int64 {
-	// splitmix64: golden-gamma increment then two xor-multiply finalizer
-	// rounds (Steele, Lea & Flood, OOPSLA 2014).
-	z := uint64(base) + 0x9e3779b97f4a7c15*(stream+1)
+	// splitmix64: golden-gamma increment then the finalizer.
+	return int64(Mix64(uint64(base) + 0x9e3779b97f4a7c15*(stream+1)))
+}
+
+// Mix64 is the splitmix64 finalizer (Steele, Lea & Flood, OOPSLA 2014):
+// two xor-multiply rounds plus a closing xor-shift. It is the shared
+// bit-mixing primitive behind DeriveSeed and every other pinned
+// deterministic mapping in the repo (e.g. spectrum cell assignment);
+// like DeriveSeed itself, its output must never change.
+func Mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return int64(z ^ (z >> 31))
+	return z ^ (z >> 31)
 }
 
 // Now returns the current virtual time.

@@ -90,6 +90,32 @@ type Report struct {
 	// battery died mid-run (DrainBattery scenarios).
 	PerpetualFraction float64
 	DiedFraction      float64
+
+	// Cells are the per-cell statistics of a spectrum-coupled sweep,
+	// sorted by cell index; empty (and omitted from the fingerprint
+	// JSON) on uncoupled sweeps, so every pre-coupling fingerprint
+	// replays unchanged. Only the streaming path populates them — the
+	// batch Aggregate has no placement information.
+	Cells []CellStat `json:",omitempty"`
+}
+
+// CellStat summarizes one spatial cell of a coupled sweep: how crowded
+// the shared band was and what that did to its members. Populated cells
+// only — a cell no wearer hashed into is not listed.
+type CellStat struct {
+	// Cell is the cell index in [0, Coupling.Cells).
+	Cell int
+	// Wearers and Nodes count the cell's members.
+	Wearers int
+	Nodes   int
+	// MeanForeignLoad is the mean foreign co-channel offered load a
+	// member saw, in erlangs — the cell's congestion level.
+	MeanForeignLoad float64
+	// MeanDelivery is the mean per-node delivery rate across the cell's
+	// nodes (RF and body-channel alike).
+	MeanDelivery float64
+	// Died counts member nodes whose battery died mid-run.
+	Died int
 }
 
 // Aggregate merges per-wearer reports (indexed by wearer) into the fleet
@@ -173,5 +199,20 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "  hub utilization:  %v\n", r.HubUtilization)
 	fmt.Fprintf(&b, "  perpetual nodes:  %.1f%%   died mid-run: %.1f%%",
 		r.PerpetualFraction*100, r.DiedFraction*100)
+	if len(r.Cells) > 0 {
+		minD, maxD := r.Cells[0].MeanDelivery, r.Cells[0].MeanDelivery
+		var load float64
+		for _, c := range r.Cells {
+			load += c.MeanForeignLoad * float64(c.Wearers)
+			if c.MeanDelivery < minD {
+				minD = c.MeanDelivery
+			}
+			if c.MeanDelivery > maxD {
+				maxD = c.MeanDelivery
+			}
+		}
+		fmt.Fprintf(&b, "\n  spectrum:  %d cells, mean foreign load %.3f erlangs, cell delivery %.3f–%.3f",
+			len(r.Cells), load/float64(r.Wearers), minD, maxD)
+	}
 	return b.String()
 }

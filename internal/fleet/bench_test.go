@@ -72,3 +72,39 @@ func TestFleetParallelSpeedup(t *testing.T) {
 		t.Errorf("speedup %.2fx on %d cores, want > 2x", speedup, runtime.NumCPU())
 	}
 }
+
+// benchCoupledFleet mirrors benchFleet with the two-phase engine.
+// cells ≫ wearers keeps every wearer effectively alone (zero foreign
+// load), so the physics — and the per-wearer event count — match the
+// uncoupled benchmark and the delta is pure engine overhead: phase 1
+// plus coupling bookkeeping. The acceptance budget is ≤10% vs the
+// uncoupled workers-matched baseline in BENCH_fleet.json.
+func benchCoupledFleet(b *testing.B, workers, cells int) {
+	b.Helper()
+	f := testFleet(200, workers, 42)
+	f.Span = 60 * units.Second
+	f.Coupling = &Coupling{Cells: cells}
+	b.ReportAllocs()
+	var last Perf
+	for i := 0; i < b.N; i++ {
+		_, perf, err := f.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = perf
+	}
+	b.ReportMetric(last.RunsPerSec, "runs/s")
+	b.ReportMetric(last.EventsPerSec, "events/s")
+	b.ReportMetric(last.Phase1.Seconds()*1e3, "phase1-ms")
+}
+
+// BenchmarkFleetCoupledSparse is the engine-overhead benchmark (density
+// ≈ 0: identical physics to BenchmarkFleetWorkers4, so the runs/s gap is
+// the two-phase cost).
+func BenchmarkFleetCoupledSparse(b *testing.B) { benchCoupledFleet(b, 4, 1<<20) }
+
+// BenchmarkFleetCoupledDense is the physics-inclusive benchmark: ~12
+// wearers per cell of contending BLE traffic, the shape of a real
+// density sweep (collision retries add events, so runs/s is expected to
+// move with the workload, not the engine).
+func BenchmarkFleetCoupledDense(b *testing.B) { benchCoupledFleet(b, 4, 16) }

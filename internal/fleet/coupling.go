@@ -1,0 +1,201 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"wiban/internal/bannet"
+	"wiban/internal/desim"
+	"wiban/internal/radio"
+	"wiban/internal/spectrum"
+)
+
+// Coupling switches the engine to its two-phase spectrum-coupled mode:
+// wearers stop being independent and instead contend for shared RF
+// spectrum inside spatial cells (see wiban/internal/spectrum).
+//
+// Phase 1 computes every cell's offered RF load from the scenarios alone:
+// each wearer's cell is a pure function of its scenario seed
+// (spectrum.CellOf) and its offered load an integer-PPM function of its
+// generated config, so the per-cell sums are an exact, order-independent
+// reduction — any worker count produces bit-identical loads. Phase 2 then
+// runs the ordinary per-wearer kernels with each RF node's CollisionPER
+// set from its cell's foreign load; EQS/MQS body-channel nodes are left
+// untouched, reproducing the paper's density contrast. Because both
+// phases are pure functions of (fleetSeed, population), the engine's
+// determinism, parallelism-invariance and resume contracts carry over
+// unchanged: a resumed sweep recomputes phase 1 over the full population
+// [0, Wearers) regardless of Start and lands on the same loads.
+type Coupling struct {
+	// Cells is the spatial cell count wearers hash into (> 0). More
+	// wearers per cell means more co-channel contention; Wearers/Cells is
+	// the sweep's density axis.
+	Cells int
+	// Model maps a cell's foreign offered load to a collision
+	// probability. Nil means spectrum.Default().
+	Model *spectrum.Model
+}
+
+// model returns the effective collision model.
+func (c *Coupling) model() *spectrum.Model {
+	if c.Model == nil {
+		return spectrum.Default()
+	}
+	return c.Model
+}
+
+// validate rejects degenerate couplings.
+func (c *Coupling) validate() error {
+	if c.Cells <= 0 {
+		return fmt.Errorf("fleet: coupling needs a positive cell count, got %d", c.Cells)
+	}
+	return c.model().Validate()
+}
+
+// Tag renders the coupling parameters as a stable string for telemetry
+// metadata, so a resumed sweep refuses flags describing a different
+// spectrum topology.
+func (c *Coupling) Tag() string {
+	return fmt.Sprintf("cells=%d;%s", c.Cells, c.model().Tag())
+}
+
+// cellOf is the wearer→cell assignment: a pure function of the wearer's
+// scenario-stream seed, so it is identical on every rerun, resume and
+// worker schedule.
+func (f *Fleet) cellOf(w int) int {
+	return spectrum.CellOf(desim.DeriveSeed(f.Seed, 2*uint64(w)), f.Coupling.Cells)
+}
+
+// offeredLoadPPM is a wearer's offered RF airtime in integer PPM: the
+// sum over its radiative (TechRF) nodes of application rate over link
+// goodput. Body-channel (EQS/MQS) nodes radiate nothing into the shared
+// band and contribute zero — their immunity is the model, not a special
+// case downstream. Retransmission expansion is deliberately excluded:
+// offered load is first-order input traffic, and closing the
+// collision→retry→load feedback loop is a fixed-point refinement left
+// for a future PR.
+func offeredLoadPPM(cfg *bannet.Config) int64 {
+	var ppm int64
+	for i := range cfg.Nodes {
+		n := &cfg.Nodes[i]
+		if n.Radio == nil || n.Radio.Tech != radio.TechRF || n.Sensor == nil || n.Policy == nil {
+			continue
+		}
+		if n.Radio.Goodput <= 0 {
+			continue
+		}
+		duty := float64(n.Policy.OutputRate(n.Sensor.DataRate())) / float64(n.Radio.Goodput)
+		if duty > 1 {
+			duty = 1
+		}
+		ppm += spectrum.ToPPM(duty)
+	}
+	return ppm
+}
+
+// offeredLoads is phase 1: the deterministic per-cell load reduction over
+// the full population [0, Wearers) — including wearers below Start, so a
+// resumed sweep sees the loads the interrupted one did. Workers
+// accumulate into private tables over contiguous chunks and the integer
+// merges commute, so the result is bit-identical for any worker count.
+// A failing scenario surfaces as the lowest failing wearer index,
+// matching the phase-2 error contract.
+func (f *Fleet) offeredLoads(workers int) (*spectrum.LoadTable, error) {
+	cells := f.Coupling.Cells
+	total, err := spectrum.NewLoadTable(cells)
+	if err != nil {
+		return nil, err
+	}
+	const chunk = 256
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		failIdx = -1
+		failErr error
+	)
+	if workers > f.Wearers {
+		workers = f.Wearers
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local, _ := spectrum.NewLoadTable(cells)
+			localFail, localErr := -1, error(nil)
+			for {
+				lo := int(next.Add(chunk) - chunk)
+				if lo >= f.Wearers {
+					break
+				}
+				hi := lo + chunk
+				if hi > f.Wearers {
+					hi = f.Wearers
+				}
+				for w := lo; w < hi; w++ {
+					rng := rand.New(rand.NewSource(desim.DeriveSeed(f.Seed, 2*uint64(w))))
+					cfg, err := f.Scenario(w, rng)
+					if err != nil {
+						if localFail == -1 || w < localFail {
+							localFail, localErr = w, err
+						}
+						continue
+					}
+					if err := local.Add(f.cellOf(w), offeredLoadPPM(&cfg)); err != nil {
+						if localFail == -1 || w < localFail {
+							localFail, localErr = w, err
+						}
+					}
+				}
+			}
+			mu.Lock()
+			if err := total.Merge(local); err != nil && localFail == -1 {
+				localFail, localErr = 0, err // table-shape bug: lowest possible index
+			}
+			if localFail != -1 && (failIdx == -1 || localFail < failIdx) {
+				failIdx, failErr = localFail, localErr
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if failIdx != -1 {
+		return nil, fmt.Errorf("fleet: offered-load phase: wearer %d: %w", failIdx, failErr)
+	}
+	return total, nil
+}
+
+// applyInterference stamps the cell's collision probability onto the
+// config's RF nodes (copying the node slice first: the scenario may hand
+// out shared backing arrays) and returns the wearer's cell and foreign
+// load for telemetry.
+func (f *Fleet) applyInterference(w int, cfg *bannet.Config, loads *spectrum.LoadTable) (cell int, foreignPPM int64) {
+	cell = f.cellOf(w)
+	foreignPPM = loads.ForeignPPM(cell, offeredLoadPPM(cfg))
+	p := f.Coupling.model().CollisionProb(spectrum.Erlangs(foreignPPM))
+	if p > 0 {
+		nodes := make([]bannet.NodeConfig, len(cfg.Nodes))
+		copy(nodes, cfg.Nodes)
+		cfg.Nodes = nodes
+		for i := range cfg.Nodes {
+			if r := cfg.Nodes[i].Radio; r != nil && r.Tech == radio.TechRF {
+				cfg.Nodes[i].CollisionPER = p
+			}
+		}
+	}
+	return cell, foreignPPM
+}
+
+// effectiveWorkers mirrors the phase-2 worker sizing for phase 1.
+func (f *Fleet) effectiveWorkers() int {
+	if f.Workers > 0 {
+		return f.Workers
+	}
+	return runtime.NumCPU()
+}

@@ -1,7 +1,23 @@
 // Package fleet is the population-scale simulation engine: it runs N
-// independent body-area-network simulations (one simulated wearer each) in
-// parallel across a worker pool and merges the per-wearer reports into
-// fleet-level statistics.
+// body-area-network simulations (one simulated wearer each) in parallel
+// across a worker pool and merges the per-wearer reports into fleet-level
+// statistics. Wearers are fully independent by default; with a Coupling
+// they contend for shared RF spectrum through the two-phase engine below.
+//
+// # Two-phase spectrum coupling
+//
+// A Coupling makes the sweep density-aware without surrendering any
+// determinism contract. Phase 1 computes each spatial cell's offered RF
+// load from the scenarios alone: cell assignment is a pure function of
+// the wearer's scenario seed and loads accumulate in exact integer PPM
+// (wiban/internal/spectrum), so the reduction is order-independent and
+// bit-identical for any worker count. Phase 2 is the ordinary per-wearer
+// worker pool, with each RF node's CollisionPER stamped from its cell's
+// foreign load before the kernel runs; EQS/MQS nodes are untouched.
+// Resume recomputes phase 1 over the full population regardless of
+// Start, so a resumed coupled sweep reproduces the interrupted one
+// exactly (the telemetry store's v1 format persists each wearer's cell
+// and foreign load for replay).
 //
 // # Determinism and the seed-derivation contract
 //
@@ -43,13 +59,13 @@ package fleet
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"wiban/internal/bannet"
 	"wiban/internal/desim"
+	"wiban/internal/spectrum"
 	"wiban/internal/units"
 )
 
@@ -79,6 +95,11 @@ type Fleet struct {
 	// from absolute wearer indices, so a resumed sweep reproduces an
 	// uninterrupted one exactly.
 	Start int
+	// Coupling, when non-nil, runs the two-phase spectrum-coupled
+	// engine: wearers share RF spectrum inside spatial cells and each RF
+	// node's loss is inflated by its cell's offered load (see Coupling).
+	// Nil preserves the original fully-independent sweep.
+	Coupling *Coupling
 }
 
 // Perf captures wall-clock throughput of a fleet run. It is reported
@@ -94,11 +115,20 @@ type Perf struct {
 	// by the window size (a small multiple of Workers), never by fleet
 	// size; the streaming-memory tests assert exactly that.
 	MaxPending int
+	// Phase1 is the wall-clock cost of the offered-load reduction of a
+	// spectrum-coupled sweep (zero when uncoupled). It is included in
+	// Elapsed; the two-phase overhead budget in BENCH_fleet.json tracks
+	// it staying a small fraction of the simulation phase.
+	Phase1 time.Duration
 }
 
 func (p Perf) String() string {
-	return fmt.Sprintf("%d workers, %v elapsed, %.1f runs/s, %.3g events/s, window peak %d",
+	s := fmt.Sprintf("%d workers, %v elapsed, %.1f runs/s, %.3g events/s, window peak %d",
 		p.Workers, p.Elapsed.Round(time.Millisecond), p.RunsPerSec, p.EventsPerSec, p.MaxPending)
+	if p.Phase1 > 0 {
+		s += fmt.Sprintf(", load phase %v", p.Phase1.Round(time.Millisecond))
+	}
+	return s
 }
 
 // Run executes the sweep through the default bounded-memory path: each
@@ -130,8 +160,8 @@ func (f *Fleet) RunReports() ([]*bannet.Report, *Report, Perf, error) {
 		return nil, nil, Perf{}, fmt.Errorf("fleet: non-positive population %d", f.Wearers)
 	}
 	reports := make([]*bannet.Report, 0, f.Wearers)
-	perf, err := f.stream(func(w int, r *bannet.Report) error {
-		reports = append(reports, r)
+	perf, err := f.stream(func(w int, out wearerOut) error {
+		reports = append(reports, out.rep)
 		return nil
 	})
 	if err != nil {
@@ -146,17 +176,31 @@ func (f *Fleet) RunReports() ([]*bannet.Report, *Report, Perf, error) {
 // aggregate in one pass. A sink error aborts the sweep (records already
 // consumed form a valid committed prefix).
 func (f *Fleet) Stream(sink Sink) (Perf, error) {
-	return f.stream(func(w int, r *bannet.Report) error {
-		return sink.Consume(RecordOf(w, r))
+	return f.stream(func(w int, out wearerOut) error {
+		rec := RecordOf(w, out.rep)
+		rec.Cell = out.cell
+		rec.ForeignLoadPPM = out.foreignPPM
+		return sink.Consume(rec)
 	})
 }
 
-// stream is the engine: a worker pool over wearer indices with a bounded
-// reorder window. Workers acquire a window slot before taking an index,
-// and slots free only when the in-order consumer emits the report, so at
+// wearerOut is one completed wearer simulation plus its spectrum
+// placement (cell −1 / load 0 on uncoupled sweeps).
+type wearerOut struct {
+	rep        *bannet.Report
+	cell       int
+	foreignPPM int64
+}
+
+// stream is the engine. In coupled mode it first runs phase 1 — the
+// deterministic per-cell offered-load reduction over the whole population
+// — then phase 2 below; uncoupled sweeps skip straight to phase 2.
+// Phase 2 is a worker pool over wearer indices with a bounded reorder
+// window. Workers acquire a window slot before taking an index, and
+// slots free only when the in-order consumer emits the report, so at
 // most `window` completed reports exist at any instant — backpressure,
 // not buffering, absorbs stragglers.
-func (f *Fleet) stream(emit func(w int, r *bannet.Report) error) (Perf, error) {
+func (f *Fleet) stream(emit func(w int, out wearerOut) error) (Perf, error) {
 	if f.Wearers <= 0 {
 		return Perf{}, fmt.Errorf("fleet: non-positive population %d", f.Wearers)
 	}
@@ -169,14 +213,28 @@ func (f *Fleet) stream(emit func(w int, r *bannet.Report) error) (Perf, error) {
 	if f.Start < 0 || f.Start > f.Wearers {
 		return Perf{}, fmt.Errorf("fleet: start index %d outside population [0, %d]", f.Start, f.Wearers)
 	}
+	if f.Coupling != nil {
+		if err := f.Coupling.validate(); err != nil {
+			return Perf{}, err
+		}
+	}
 	count := f.Wearers - f.Start
 	if count == 0 {
+		// Nothing to simulate (a resume of a complete sweep): skip the
+		// load phase too — interference only matters to running kernels.
 		return Perf{}, nil
 	}
-	workers := f.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
+	start := time.Now()
+	var loads *spectrum.LoadTable
+	var phase1 time.Duration
+	if f.Coupling != nil {
+		var err error
+		if loads, err = f.offeredLoads(f.effectiveWorkers()); err != nil {
+			return Perf{}, err
+		}
+		phase1 = time.Since(start)
 	}
+	workers := f.effectiveWorkers()
 	if workers > count {
 		workers = count
 	}
@@ -189,7 +247,7 @@ func (f *Fleet) stream(emit func(w int, r *bannet.Report) error) (Perf, error) {
 		wg    sync.WaitGroup
 
 		mu         sync.Mutex
-		pending    = make(map[int]*bannet.Report, window)
+		pending    = make(map[int]wearerOut, window)
 		nextEmit   = f.Start
 		maxPending int
 		events     uint64
@@ -214,7 +272,6 @@ func (f *Fleet) stream(emit func(w int, r *bannet.Report) error) (Perf, error) {
 		mu.Unlock()
 	}
 
-	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -230,13 +287,13 @@ func (f *Fleet) stream(emit func(w int, r *bannet.Report) error) (Perf, error) {
 					<-slots // hand the slot back: nothing will be emitted for it
 					return
 				}
-				rep, err := f.runWearer(i)
+				out, err := f.runWearer(i, loads)
 				if err != nil {
 					fail(i, fmt.Errorf("fleet: wearer %d: %w", i, err))
 					return
 				}
 				mu.Lock()
-				pending[i] = rep
+				pending[i] = out
 				if len(pending) > maxPending {
 					maxPending = len(pending)
 				}
@@ -252,7 +309,7 @@ func (f *Fleet) stream(emit func(w int, r *bannet.Report) error) (Perf, error) {
 						fail(idx, fmt.Errorf("fleet: sink at wearer %d: %w", idx, err))
 						return
 					}
-					events += r.Events
+					events += r.rep.Events
 					nextEmit++
 					<-slots // the emitted report's slot frees a waiting worker
 				}
@@ -266,7 +323,7 @@ func (f *Fleet) stream(emit func(w int, r *bannet.Report) error) (Perf, error) {
 	if failIdx != -1 {
 		return Perf{}, failErr
 	}
-	perf := Perf{Workers: workers, Elapsed: elapsed, MaxPending: maxPending}
+	perf := Perf{Workers: workers, Elapsed: elapsed, MaxPending: maxPending, Phase1: phase1}
 	if s := elapsed.Seconds(); s > 0 {
 		perf.RunsPerSec = float64(count) / s
 		perf.EventsPerSec = float64(events) / s
@@ -274,17 +331,26 @@ func (f *Fleet) stream(emit func(w int, r *bannet.Report) error) (Perf, error) {
 	return perf, nil
 }
 
-// runWearer builds and runs one wearer's simulation shard.
-func (f *Fleet) runWearer(w int) (*bannet.Report, error) {
+// runWearer builds and runs one wearer's simulation shard. In coupled
+// mode (loads non-nil) the scenario's RF nodes first get their cell's
+// collision probability stamped on; the scenario's own RNG discipline is
+// untouched, so a coupled and an uncoupled sweep of the same fleet seed
+// explore the identical population and differ only in interference.
+func (f *Fleet) runWearer(w int, loads *spectrum.LoadTable) (wearerOut, error) {
 	rng := rand.New(rand.NewSource(desim.DeriveSeed(f.Seed, 2*uint64(w))))
 	cfg, err := f.Scenario(w, rng)
 	if err != nil {
-		return nil, err
+		return wearerOut{}, err
+	}
+	out := wearerOut{cell: -1}
+	if loads != nil {
+		out.cell, out.foreignPPM = f.applyInterference(w, &cfg, loads)
 	}
 	cfg.Seed = desim.DeriveSeed(f.Seed, 2*uint64(w)+1)
 	sim, err := bannet.NewSim(cfg)
 	if err != nil {
-		return nil, err
+		return wearerOut{}, err
 	}
-	return sim.Run(f.Span)
+	out.rep, err = sim.Run(f.Span)
+	return out, err
 }

@@ -3,6 +3,7 @@ package fleet
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"wiban/internal/bannet"
 	"wiban/internal/telemetry"
@@ -39,13 +40,15 @@ func Tee(sinks ...Sink) Sink {
 
 // RecordOf flattens one wearer's simulation report into its telemetry
 // record — exactly the fields fleet aggregation consumes, with durations
-// in seconds.
+// in seconds. The spectrum placement defaults to the uncoupled sentinel
+// (cell −1); the engine's Stream overwrites it on coupled sweeps.
 func RecordOf(wearer int, r *bannet.Report) telemetry.Record {
 	rec := telemetry.Record{
 		Wearer:         wearer,
 		Events:         r.Events,
 		HubRxBits:      r.HubRxBits,
 		HubUtilization: r.HubUtilization,
+		Cell:           -1,
 	}
 	if len(r.Nodes) > 0 {
 		rec.Nodes = make([]telemetry.NodeRecord, len(r.Nodes))
@@ -84,6 +87,18 @@ type StreamAggregator struct {
 	perpetual, died                          int
 
 	delivery, life, latP50, latP99, hubUtil *StreamDist
+
+	// cells accumulates per-cell statistics of a coupled sweep, keyed by
+	// cell index. Float sums run in record (wearer-index) order, which
+	// the engine guarantees, so the rendered CellStats are deterministic.
+	cells map[int]*cellAcc
+}
+
+// cellAcc is the running per-cell accumulator.
+type cellAcc struct {
+	wearers, nodes, died int
+	foreignPPM           int64
+	deliverySum          float64
 }
 
 // NewStreamAggregator returns an empty aggregator for sweeps of the given
@@ -107,6 +122,19 @@ func (a *StreamAggregator) Consume(rec telemetry.Record) error {
 	a.events += rec.Events
 	a.hubRx += rec.HubRxBits
 	a.hubUtil.Add(rec.HubUtilization)
+	var cell *cellAcc
+	if rec.Cell >= 0 {
+		if a.cells == nil {
+			a.cells = make(map[int]*cellAcc)
+		}
+		cell = a.cells[rec.Cell]
+		if cell == nil {
+			cell = &cellAcc{}
+			a.cells[rec.Cell] = cell
+		}
+		cell.wearers++
+		cell.foreignPPM += rec.ForeignLoadPPM
+	}
 	for i := range rec.Nodes {
 		n := &rec.Nodes[i]
 		a.nodes++
@@ -130,6 +158,13 @@ func (a *StreamAggregator) Consume(rec telemetry.Record) error {
 		}
 		if n.Died {
 			a.died++
+		}
+		if cell != nil {
+			cell.nodes++
+			cell.deliverySum += rate
+			if n.Died {
+				cell.died++
+			}
 		}
 	}
 	return nil
@@ -162,6 +197,23 @@ func (a *StreamAggregator) Report() *Report {
 	if rep.Nodes > 0 {
 		rep.PerpetualFraction = float64(a.perpetual) / float64(rep.Nodes)
 		rep.DiedFraction = float64(a.died) / float64(rep.Nodes)
+	}
+	if len(a.cells) > 0 {
+		ids := make([]int, 0, len(a.cells))
+		for id := range a.cells {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		rep.Cells = make([]CellStat, 0, len(ids))
+		for _, id := range ids {
+			c := a.cells[id]
+			cs := CellStat{Cell: id, Wearers: c.wearers, Nodes: c.nodes, Died: c.died}
+			cs.MeanForeignLoad = float64(c.foreignPPM) / float64(c.wearers) / 1e6
+			if c.nodes > 0 {
+				cs.MeanDelivery = c.deliverySum / float64(c.nodes)
+			}
+			rep.Cells = append(rep.Cells, cs)
+		}
 	}
 	return rep
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -202,5 +203,76 @@ func TestStreamRejectsBadStart(t *testing.T) {
 		if _, _, _, err := f.RunReports(); err == nil {
 			t.Error("RunReports accepted a resumed sweep")
 		}
+	}
+}
+
+// TestStreamDistPercentileProperty is the randomized pin of the
+// StreamDist↔batch contract across the 256-centroid threshold: for any
+// insertion sequence whose distinct-value count fits the centroid budget
+// — regardless of total sample count — the streaming percentiles must
+// equal the batch sorted-sample ones bit-for-bit; past the budget they
+// must stay within a tight fraction of the sample range while N, min,
+// max and (to rounding) the mean remain exact.
+func TestStreamDistPercentileProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260727))
+	exactTrials, mergedTrials := 0, 0
+	for trial := 0; trial < 120; trial++ {
+		n := 128 + rng.Intn(384) // 128..511 straddles the 256 threshold
+		bounded := trial%2 == 0
+		samples := make([]float64, n)
+		distinct := map[float64]bool{}
+		for i := range samples {
+			var v float64
+			if bounded {
+				// ≤ 200 distinct values: duplicates guarantee the
+				// centroid budget holds even when n > 256.
+				v = float64(rng.Intn(200)) / 7
+			} else {
+				v = rng.NormFloat64() * 10
+			}
+			samples[i] = v
+			distinct[v] = true
+		}
+		sd := NewStreamDist(0)
+		for _, v := range samples {
+			sd.Add(v)
+		}
+		got := sd.Dist()
+		want := NewDist(append([]float64(nil), samples...))
+		if len(distinct) <= DefaultMaxBins {
+			exactTrials++
+			if got != want {
+				t.Fatalf("trial %d (n=%d, %d distinct): stream diverged from batch\n got %+v\nwant %+v",
+					trial, n, len(distinct), got, want)
+			}
+			continue
+		}
+		mergedTrials++
+		if got.N != want.N || got.Min != want.Min || got.Max != want.Max {
+			t.Fatalf("trial %d: exact fields diverged over budget: %+v vs %+v", trial, got, want)
+		}
+		if math.Abs(got.Mean-want.Mean) > 1e-9*math.Max(1, math.Abs(want.Mean)) {
+			t.Fatalf("trial %d: mean %v, want %v", trial, got.Mean, want.Mean)
+		}
+		span := want.Max - want.Min
+		for _, q := range []struct {
+			name      string
+			got, want float64
+		}{
+			{"p10", got.P10, want.P10}, {"p50", got.P50, want.P50},
+			{"p90", got.P90, want.P90}, {"p99", got.P99, want.P99},
+		} {
+			if math.Abs(q.got-q.want) > 0.05*span {
+				t.Fatalf("trial %d (n=%d, %d distinct): %s = %g, want %g (±5%% of range %g)",
+					trial, n, len(distinct), q.name, q.got, q.want, span)
+			}
+		}
+		if got.P10 > got.P50 || got.P50 > got.P90 || got.P90 > got.P99 {
+			t.Fatalf("trial %d: percentiles not monotone: %+v", trial, got)
+		}
+	}
+	// The trial mix must actually exercise both regimes.
+	if exactTrials < 20 || mergedTrials < 20 {
+		t.Fatalf("property test degenerate: %d exact / %d merged trials", exactTrials, mergedTrials)
 	}
 }

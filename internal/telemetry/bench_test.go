@@ -39,7 +39,7 @@ func BenchmarkBlockEncode(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		frame := encodeBlock(recs)
+		frame := encodeBlock(recs, CurrentFormat)
 		encoded = int64(len(frame))
 	}
 	b.StopTimer()
@@ -50,12 +50,12 @@ func BenchmarkBlockEncode(b *testing.B) {
 
 func BenchmarkBlockDecode(b *testing.B) {
 	recs := benchRecords(DefaultBlockSize)
-	frame := encodeBlock(recs)
+	frame := encodeBlock(recs, CurrentFormat)
 	payload := frame[8 : len(frame)-4] // strip magic+len and CRC framing
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := decodeBlock(payload); err != nil {
+		if _, err := decodeBlock(payload, CurrentFormat); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -71,6 +71,7 @@ func BenchmarkWriterConsume(b *testing.B) {
 	recs := benchRecords(DefaultBlockSize)
 	w, err := Create(filepath.Join(b.TempDir(), "bench.wtl"), Meta{
 		FleetSeed: 1, Wearers: b.N + 1, SpanSeconds: 1,
+		Version: CurrentFormat, Cells: 5,
 	})
 	if err != nil {
 		b.Fatal(err)

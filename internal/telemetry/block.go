@@ -28,8 +28,9 @@ func appendFrame(dst, payload []byte) []byte {
 	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
 }
 
-// encodeBlock encodes recs (consecutive wearers) into a framed block.
-func encodeBlock(recs []Record) []byte {
+// encodeBlock encodes recs (consecutive wearers) into a framed block laid
+// out per the given format version.
+func encodeBlock(recs []Record, version int) []byte {
 	n := len(recs)
 	total := 0
 	for i := range recs {
@@ -64,6 +65,18 @@ func encodeBlock(recs []Record) []byte {
 		floats = append(floats, recs[i].HubUtilization)
 	}
 	payload = compress.AppendXorFloats(payload, floats)
+	if version >= FormatV1 {
+		for _, get := range []func(r *Record) int64{
+			func(r *Record) int64 { return int64(r.Cell) },
+			func(r *Record) int64 { return r.ForeignLoadPPM },
+		} {
+			ints = ints[:0]
+			for i := range recs {
+				ints = append(ints, get(&recs[i]))
+			}
+			payload = compress.AppendDeltaInts(payload, ints)
+		}
+	}
 
 	perNode := []func(nr *NodeRecord) int64{
 		func(nr *NodeRecord) int64 { return nr.PacketsGenerated },
@@ -112,8 +125,9 @@ func encodeBlock(recs []Record) []byte {
 	return appendFrame(nil, payload)
 }
 
-// decodeBlock inverts encodeBlock on a verified payload.
-func decodeBlock(payload []byte) ([]Record, error) {
+// decodeBlock inverts encodeBlock on a verified payload, under the
+// column layout of the given format version.
+func decodeBlock(payload []byte, version int) ([]Record, error) {
 	pos := 0
 	header := make([]uint64, 3)
 	for i := range header {
@@ -186,6 +200,15 @@ func decodeBlock(payload []byte) ([]Record, error) {
 	if err != nil {
 		return nil, err
 	}
+	var cells, foreign []int64
+	if version >= FormatV1 {
+		if cells, err = intCol(count); err != nil {
+			return nil, err
+		}
+		if foreign, err = intCol(count); err != nil {
+			return nil, err
+		}
+	}
 	var nodeInts [5][]int64
 	for i := range nodeInts {
 		if nodeInts[i], err = intCol(total); err != nil {
@@ -218,7 +241,12 @@ func decodeBlock(payload []byte) ([]Record, error) {
 			Events:         uint64(events[i]),
 			HubRxBits:      hubRx[i],
 			HubUtilization: hubUtil[i],
+			Cell:           -1, // v0 stores predate spectrum coupling
 			Nodes:          nodes[off : off+nc : off+nc],
+		}
+		if version >= FormatV1 {
+			recs[i].Cell = int(cells[i])
+			recs[i].ForeignLoadPPM = foreign[i]
 		}
 		for j := 0; j < nc; j++ {
 			nodes[off+j] = NodeRecord{
@@ -299,7 +327,7 @@ func readHeaderFile(f *os.File) (Meta, int64, error) {
 // limit, returning the decoded records and the offset just past the
 // frame. One block is the unit of reader memory: nothing larger is ever
 // resident.
-func readFrameAt(f *os.File, pos, limit int64) ([]Record, int64, error) {
+func readFrameAt(f *os.File, pos, limit int64, version int) ([]Record, int64, error) {
 	var hdr [8]byte
 	if pos+int64(len(hdr)) > limit {
 		return nil, 0, fmt.Errorf("%w: truncated frame", ErrCorrupt)
@@ -322,7 +350,7 @@ func readFrameAt(f *os.File, pos, limit int64) ([]Record, int64, error) {
 	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(buf[plen:]) {
 		return nil, 0, fmt.Errorf("%w: block CRC mismatch", ErrCorrupt)
 	}
-	recs, err := decodeBlock(payload)
+	recs, err := decodeBlock(payload, version)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// storeBytes renders a small valid store (header + a few blocks) in
+// memory for fuzz seeding.
+func storeBytes(f *testing.F, version int) []byte {
+	f.Helper()
+	dir := f.TempDir()
+	path := filepath.Join(dir, "seed.wtl")
+	meta := Meta{FleetSeed: 42, Wearers: 24, SpanSeconds: 30, BlockSize: 8, Version: version}
+	if version >= FormatV1 {
+		meta.Cells = 5
+	}
+	w, err := Create(path, meta)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		rec := testRecord(i)
+		if version < FormatV1 {
+			rec.Cell, rec.ForeignLoadPPM = -1, 0
+		}
+		if err := w.Consume(rec); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}
+
+// FuzzReader throws corrupted, truncated and adversarial byte streams at
+// both reader modes (checkpoint-less Open and OpenStrict) and at the
+// Resume scan fallback. The contract under fuzz: never panic, never
+// allocate unboundedly from forged headers, and always terminate — a
+// damaged stream must end in a clean error or a truncation, not an
+// over-read.
+func FuzzReader(f *testing.F) {
+	valid := storeBytes(f, CurrentFormat)
+	f.Add(valid)
+	f.Add(storeBytes(f, FormatV0))
+	f.Add([]byte{})
+	f.Add([]byte("WBTL1\x00"))
+	f.Add([]byte("not a store at all"))
+	// Flipped CRC byte in the final block footer.
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-1] ^= 0xff
+	f.Add(flipped)
+	// Flipped byte inside a block payload (CRC now mismatches).
+	mid := append([]byte(nil), valid...)
+	mid[len(mid)/2] ^= 0x10
+	f.Add(mid)
+	// Torn tail: the file ends mid-frame.
+	f.Add(valid[:len(valid)-7])
+	f.Add(valid[:len(valid)/3])
+	// Bad varint: 10 continuation bytes where the meta length belongs.
+	bad := append([]byte("WBTL1\x00"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff)
+	f.Add(bad)
+	// Forged frame length pointing far past the payload.
+	forged := append([]byte(nil), valid...)
+	for i := 0; i+8 < len(forged); i++ {
+		if string(forged[i:i+4]) == blockMagic {
+			forged[i+4], forged[i+5], forged[i+6], forged[i+7] = 0xff, 0xff, 0xff, 0x00
+			break
+		}
+	}
+	f.Add(forged)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fuzz.wtl")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// No sidecar exists, so Open exercises the truncation-scan path
+		// and OpenStrict the hard-error path.
+		for _, open := range []func(string) (*Reader, error){Open, OpenStrict} {
+			r, err := open(path)
+			if err != nil {
+				continue
+			}
+			records := 0
+			for {
+				rec, err := r.Next()
+				if err == io.EOF || (err != nil) {
+					break
+				}
+				if rec.Wearer != records {
+					t.Fatalf("reader emitted wearer %d at position %d", rec.Wearer, records)
+				}
+				records++
+				if records > len(data) {
+					t.Fatalf("decoded %d records from %d bytes — over-read", records, len(data))
+				}
+			}
+			if r.Records() != records {
+				t.Fatalf("Records() = %d after %d emitted", r.Records(), records)
+			}
+			r.Close()
+		}
+		// The Resume scan fallback truncates to the verifiable prefix; it
+		// must do so without panicking and leave a store Resume accepts
+		// again (idempotence of repair).
+		w, err := Resume(path)
+		if err != nil {
+			return
+		}
+		next := w.NextWearer()
+		w.Abort()
+		w2, err := Resume(path)
+		if err != nil {
+			t.Fatalf("second resume after repair failed: %v", err)
+		}
+		if w2.NextWearer() != next {
+			t.Fatalf("repair not idempotent: next %d then %d", next, w2.NextWearer())
+		}
+		w2.Abort()
+	})
+}

@@ -18,6 +18,10 @@ type Reader struct {
 	pos     int64
 	limit   int64 // exclusive end of trusted bytes; file size without a checkpoint
 	ckValid bool
+	// strict (OpenStrict) ignores the checkpoint and turns every damaged
+	// or out-of-place frame into a hard error instead of a silent
+	// truncation — the integrity-audit mode iobtrace verify runs in.
+	strict bool
 	// decoded block being drained
 	block []Record
 	bi    int
@@ -29,17 +33,32 @@ type Reader struct {
 	truncated bool
 }
 
+// openCommon is the shared open prologue: open the file and verify its
+// header and format version. On error the file is closed. Statting is
+// left to the caller — Open must read the checkpoint sidecar before
+// observing the size.
+func openCommon(path string) (f *os.File, meta Meta, hdrLen int64, err error) {
+	f, err = os.Open(path)
+	if err != nil {
+		return nil, Meta{}, 0, fmt.Errorf("telemetry: open: %w", err)
+	}
+	meta, hdrLen, err = readHeaderFile(f)
+	if err == nil {
+		err = checkVersion(meta)
+	}
+	if err != nil {
+		f.Close()
+		return nil, Meta{}, 0, err
+	}
+	return f, meta, hdrLen, nil
+}
+
 // Open opens the store at path for reading. It may be called on a store a
 // live Writer is still appending to: the checkpoint pins the readable
 // prefix.
 func Open(path string) (*Reader, error) {
-	f, err := os.Open(path)
+	f, meta, hdrLen, err := openCommon(path)
 	if err != nil {
-		return nil, fmt.Errorf("telemetry: open: %w", err)
-	}
-	meta, hdrLen, err := readHeaderFile(f)
-	if err != nil {
-		f.Close()
 		return nil, err
 	}
 	// Read the checkpoint before statting: a live writer commits the
@@ -61,6 +80,26 @@ func Open(path string) (*Reader, error) {
 	return r, nil
 }
 
+// OpenStrict opens the store for an integrity audit: the checkpoint
+// sidecar is ignored, every physical byte of the file must belong to a
+// CRC-valid, contiguous frame, and any damage — including damage past a
+// (possibly stale) checkpoint, and a torn tail frame a kill left behind —
+// surfaces as a Next error instead of a silent truncation. iobtrace
+// verify runs in this mode so its exit code reflects the whole file, not
+// just the checkpoint-trusted prefix.
+func OpenStrict(path string) (*Reader, error) {
+	f, meta, hdrLen, err := openCommon(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("telemetry: open: %w", err)
+	}
+	return &Reader{f: f, meta: meta, pos: hdrLen, limit: st.Size(), size: st.Size(), strict: true}, nil
+}
+
 // Meta returns the store's header metadata.
 func (r *Reader) Meta() Meta { return r.meta }
 
@@ -74,9 +113,9 @@ func (r *Reader) Next() (Record, error) {
 		if r.pos >= r.limit {
 			return Record{}, io.EOF
 		}
-		recs, end, err := readFrameAt(r.f, r.pos, r.limit)
+		recs, end, err := readFrameAt(r.f, r.pos, r.limit, r.meta.Version)
 		if err != nil || len(recs) == 0 || recs[0].Wearer != r.records {
-			if r.ckValid {
+			if r.ckValid || r.strict {
 				if err == nil {
 					err = fmt.Errorf("%w: non-contiguous wearer indices", ErrCorrupt)
 				}

@@ -18,7 +18,10 @@
 //
 //	uvarint firstWearer | uvarint records | uvarint totalNodes
 //	per-record columns: nodeCount, events, hubRxBits (zigzag-delta
-//	    varint) and hubUtilization (XOR-prev varint of float bits)
+//	    varint) and hubUtilization (XOR-prev varint of float bits);
+//	    format v1 appends two more per-record integer columns, cell and
+//	    foreignLoadPPM (zigzag-delta varint), for spectrum-coupled
+//	    sweeps — the meta's version field selects the layout
 //	flattened per-node columns: packetsGenerated, packetsDelivered,
 //	    packetsDropped, transmissions, bitsDelivered (zigzag-delta
 //	    varint); projectedLife, latencyP50, latencyP99 (XOR-prev varint);
@@ -59,6 +62,21 @@ import (
 // enough that delta columns amortize their first-value cost.
 const DefaultBlockSize = 1024
 
+// Block-format versions. The version is recorded in the header meta and
+// selects the column layout of every block in the file; a store never
+// mixes versions.
+const (
+	// FormatV0 is the original column set (PR 2).
+	FormatV0 = 0
+	// FormatV1 adds two per-record columns for spectrum-coupled sweeps:
+	// the wearer's spatial cell and the foreign co-channel offered load
+	// (PPM) it saw. Uncoupled sweeps store cell −1 / load 0, which the
+	// delta codec compresses to ~2 bytes per record.
+	FormatV1 = 1
+	// CurrentFormat is what new stores are written as.
+	CurrentFormat = FormatV1
+)
+
 // ErrCorrupt reports a store whose framing, CRC or column payload does
 // not decode.
 var ErrCorrupt = errors.New("telemetry: corrupt store")
@@ -81,6 +99,14 @@ type Meta struct {
 	// BlockSize is the records-per-block the writer commits at; 0 means
 	// DefaultBlockSize.
 	BlockSize int `json:"block_size"`
+	// Version is the block-format version (FormatV0 when absent, so
+	// pre-versioning stores keep decoding).
+	Version int `json:"version,omitempty"`
+	// Cells is the spatial cell count of a spectrum-coupled sweep; 0
+	// means the sweep was uncoupled. Coupled sweeps need FormatV1: the
+	// cell and interference columns are part of the replayed state, and
+	// dropping them would break resume fingerprints.
+	Cells int `json:"cells,omitempty"`
 }
 
 func (m *Meta) validate() error {
@@ -92,6 +118,25 @@ func (m *Meta) validate() error {
 	}
 	if m.BlockSize < 0 {
 		return fmt.Errorf("telemetry: negative block size %d", m.BlockSize)
+	}
+	if err := checkVersion(*m); err != nil {
+		return err
+	}
+	if m.Cells < 0 {
+		return fmt.Errorf("telemetry: negative cell count %d", m.Cells)
+	}
+	if m.Cells > 0 && m.Version < FormatV1 {
+		return fmt.Errorf("telemetry: coupled sweep (%d cells) needs format v%d, store is v%d",
+			m.Cells, FormatV1, m.Version)
+	}
+	return nil
+}
+
+// checkVersion rejects stores written by a newer (or nonsensical) format
+// than this binary decodes.
+func checkVersion(m Meta) error {
+	if m.Version < FormatV0 || m.Version > CurrentFormat {
+		return fmt.Errorf("telemetry: unsupported format version %d (max %d)", m.Version, CurrentFormat)
 	}
 	return nil
 }
@@ -119,6 +164,14 @@ type Record struct {
 	Events         uint64
 	HubRxBits      int64
 	HubUtilization float64
+	// Cell is the wearer's spectrum cell in a coupled sweep, −1 when the
+	// sweep was uncoupled (and in every record decoded from a FormatV0
+	// store).
+	Cell int
+	// ForeignLoadPPM is the co-channel offered load (airtime
+	// parts-per-million, see internal/spectrum) this wearer saw from the
+	// rest of its cell; 0 when uncoupled.
+	ForeignLoadPPM int64
 	Nodes          []NodeRecord
 }
 

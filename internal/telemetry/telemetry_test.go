@@ -19,6 +19,8 @@ func testRecord(w int) Record {
 		Events:         uint64(1000 + 7*w),
 		HubRxBits:      int64(1e6) - int64(w)*13,
 		HubUtilization: 0.25 + float64(w%4)*0.125,
+		Cell:           w % 5,
+		ForeignLoadPPM: int64(40_000 * (w % 3)),
 	}
 	for j := 0; j < w%4; j++ {
 		rec.Nodes = append(rec.Nodes, NodeRecord{
@@ -38,7 +40,8 @@ func testRecord(w int) Record {
 }
 
 func testMeta(wearers, blockSize int) Meta {
-	return Meta{FleetSeed: 42, Wearers: wearers, SpanSeconds: 30, Scenario: "test-gen v1", BlockSize: blockSize}
+	return Meta{FleetSeed: 42, Wearers: wearers, SpanSeconds: 30, Scenario: "test-gen v1",
+		BlockSize: blockSize, Version: CurrentFormat, Cells: 5}
 }
 
 // writeStore writes records [0, n) and returns the store path.
@@ -291,4 +294,213 @@ func TestCreateValidatesMeta(t *testing.T) {
 			t.Errorf("%s: Create accepted %+v", name, meta)
 		}
 	}
+}
+
+// legacyRecord strips the v1-only fields from a test record, the shape a
+// FormatV0 store can carry.
+func legacyRecord(w int) Record {
+	rec := testRecord(w)
+	rec.Cell = -1
+	rec.ForeignLoadPPM = 0
+	return rec
+}
+
+// TestLegacyV0RoundTrip pins backwards compatibility: a store written in
+// the pre-versioning column layout (no version field in the meta) must
+// read back with the uncoupled sentinel cell −1 on every record.
+func TestLegacyV0RoundTrip(t *testing.T) {
+	const n, blockSize = 19, 8
+	meta := Meta{FleetSeed: 42, Wearers: n, SpanSeconds: 30, BlockSize: blockSize}
+	path := filepath.Join(t.TempDir(), "v0.wtl")
+	w, err := Create(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Consume(legacyRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.Meta().Version; got != FormatV0 {
+		t.Fatalf("legacy store decoded as version %d", got)
+	}
+	recs := drain(t, r)
+	if len(recs) != n {
+		t.Fatalf("read %d records, wrote %d", len(recs), n)
+	}
+	for i := range recs {
+		if recs[i].Cell != -1 || recs[i].ForeignLoadPPM != 0 {
+			t.Fatalf("record %d: v0 store produced cell %d load %d",
+				i, recs[i].Cell, recs[i].ForeignLoadPPM)
+		}
+	}
+}
+
+// TestFormatVersionGuards covers the version/cells validation matrix:
+// coupled sweeps need v1, unknown versions are refused at create and
+// open, and a v0 writer refuses records that carry a cell.
+func TestFormatVersionGuards(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Create(filepath.Join(dir, "a.wtl"),
+		Meta{Wearers: 10, SpanSeconds: 1, Cells: 4}); err == nil {
+		t.Error("Create accepted a coupled sweep in format v0")
+	}
+	if _, err := Create(filepath.Join(dir, "b.wtl"),
+		Meta{Wearers: 10, SpanSeconds: 1, Version: CurrentFormat + 1}); err == nil {
+		t.Error("Create accepted an unknown future version")
+	}
+	if _, err := Create(filepath.Join(dir, "c.wtl"),
+		Meta{Wearers: 10, SpanSeconds: 1, Cells: -1, Version: CurrentFormat}); err == nil {
+		t.Error("Create accepted a negative cell count")
+	}
+
+	// A v0 writer must refuse cell-carrying records instead of dropping
+	// the column (which would silently break resume fingerprints).
+	p := filepath.Join(dir, "d.wtl")
+	w, err := Create(p, Meta{Wearers: 10, SpanSeconds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Abort()
+	rec := legacyRecord(0)
+	rec.Cell = 2
+	if err := w.Consume(rec); err == nil {
+		t.Error("v0 writer accepted a record with a cell")
+	}
+
+	// A future-version header is refused by Open, OpenStrict and Resume
+	// alike (the header CRC covers the meta JSON, so render a well-formed
+	// header claiming a version this binary does not decode).
+	fp := filepath.Join(dir, "future.wtl")
+	hdr, err := encodeHeader(Meta{Wearers: 10, SpanSeconds: 1, Version: CurrentFormat + 8, BlockSize: DefaultBlockSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(fp, hdr, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(fp); err == nil {
+		t.Error("Open accepted a future format version")
+	}
+	if _, err := OpenStrict(fp); err == nil {
+		t.Error("OpenStrict accepted a future format version")
+	}
+	// Resume especially must refuse: its checkpoint-less scan fallback
+	// would misdecode future blocks as damage and truncate them away.
+	if _, err := Resume(fp); err == nil {
+		t.Error("Resume accepted a future format version")
+	}
+}
+
+// TestOpenStrictAuditsPastStaleCheckpoint pins the verify-mode contract:
+// a valid-but-stale checkpoint must not shield CRC damage in later
+// blocks from a strict read, and a strict read of an intact store sees
+// every record.
+func TestOpenStrictAuditsPastStaleCheckpoint(t *testing.T) {
+	const n, blockSize = 32, 8
+	path := writeStore(t, n, blockSize)
+
+	// Strict read of the intact store: all records, no truncation.
+	rs, err := OpenStrict(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(drain(t, rs)); got != n {
+		t.Fatalf("strict read saw %d/%d records", got, n)
+	}
+	if rs.Checkpointed() {
+		t.Error("strict reader must not trust the checkpoint")
+	}
+	rs.Close()
+
+	// Forge a stale-but-valid checkpoint that covers only the first
+	// block, then corrupt a byte well past it.
+	ck := staleCheckpoint(t, path, blockSize)
+	if err := os.WriteFile(CheckpointPath(path), ck, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-6] ^= 0x20 // inside the final block, past the stale checkpoint
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The checkpoint-trusting reader is blind to the damage…
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(drain(t, r)); got != blockSize {
+		t.Fatalf("checkpoint-bounded read saw %d records, want %d", got, blockSize)
+	}
+	r.Close()
+
+	// …the strict reader is not.
+	rs, err = OpenStrict(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	sawErr := false
+	for {
+		_, err := rs.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			sawErr = true
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("strict read error %v, want ErrCorrupt", err)
+			}
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("strict read missed CRC damage past a stale checkpoint")
+	}
+}
+
+// staleCheckpoint builds a checkpoint sidecar payload that validly
+// describes the store's state after its first block only.
+func staleCheckpoint(t *testing.T, path string, blockSize int) []byte {
+	t.Helper()
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := r.Meta()
+	hdr, err := encodeHeader(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	_, end, err := readFrameAt(f, int64(len(hdr)), r.StoredBytes(), meta.Version)
+	r.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &Writer{path: path, meta: meta, offset: end, blocks: 1, next: blockSize}
+	if err := w.writeCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := os.ReadFile(CheckpointPath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ck
 }

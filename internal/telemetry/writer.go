@@ -91,6 +91,11 @@ func resume(f *os.File, path string) (*Writer, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Refuse a newer format before the scan fallback can misdecode its
+	// blocks as tail damage and truncate them away.
+	if err := checkVersion(meta); err != nil {
+		return nil, err
+	}
 	st, err := f.Stat()
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: resume: %w", err)
@@ -106,7 +111,7 @@ func resume(f *os.File, path string) (*Writer, error) {
 		// verifiable block prefix, one block in memory at a time.
 		w.offset = hdrLen
 		for w.offset < size {
-			recs, end, ferr := readFrameAt(f, w.offset, size)
+			recs, end, ferr := readFrameAt(f, w.offset, size, meta.Version)
 			if ferr != nil || len(recs) == 0 || recs[0].Wearer != w.next {
 				break // damaged or non-contiguous: uncommitted tail
 			}
@@ -148,6 +153,12 @@ func (w *Writer) Consume(rec Record) error {
 	if rec.Wearer >= w.meta.Wearers {
 		return fmt.Errorf("telemetry: wearer %d past population %d", rec.Wearer, w.meta.Wearers)
 	}
+	if rec.Cell >= 0 && w.meta.Version < FormatV1 {
+		// Refuse rather than silently drop: the cell column is replayed
+		// state, and losing it would break resume fingerprints.
+		return fmt.Errorf("telemetry: record carries cell %d but store format v%d has no cell column",
+			rec.Cell, w.meta.Version)
+	}
 	start := len(w.nodes)
 	w.nodes = append(w.nodes, rec.Nodes...)
 	rec.Nodes = w.nodes[start:len(w.nodes):len(w.nodes)]
@@ -165,7 +176,7 @@ func (w *Writer) commit() error {
 	if len(w.buf) == 0 {
 		return nil
 	}
-	frame := encodeBlock(w.buf)
+	frame := encodeBlock(w.buf, w.meta.Version)
 	if _, err := w.f.Write(frame); err != nil {
 		return fmt.Errorf("telemetry: write block: %w", err)
 	}
