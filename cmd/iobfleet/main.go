@@ -12,6 +12,8 @@
 //	iobfleet -wearers 1000000 -out sweep.wtl -resume # continue a killed sweep
 //	iobfleet -wearers 1000 -cells 50 -ble-frac 0.5   # spectrum-coupled: 20 wearers/cell
 //	iobfleet -wearers 1000 -density 40 -ble-frac 1   # same, by target wearers-per-cell
+//	iobfleet -wearers 1000 -density 40 -feedback     # equilibrium interference (retry feedback)
+//	iobfleet -density 40 -feedback -max-iters 16 -tol 10  # coarser fixed point
 //
 // The aggregate report is a pure function of -seed: reruns with any
 // -workers value print identical statistics (only the throughput line
@@ -31,6 +33,17 @@
 //
 // Two-phase runs keep every determinism contract: the fingerprint is
 // byte-identical for any -workers value and across kill/-resume.
+//
+// -feedback closes the collision→retry→offered-load loop: phase 1 solves
+// a damped per-cell fixed point (collisions inflate retransmissions,
+// retransmissions inflate airtime, airtime inflates collisions) and the
+// per-wearer kernels see the *equilibrium* foreign load instead of the
+// first-order offered traffic — the self-consistent congestion a dense
+// venue actually settles at. -max-iters and -tol bound the iteration
+// (both must be ≥ 1); per-cell convergence shows up in the report's
+// feedback line and in iobtrace cells. Feedback stores are format v2;
+// without -feedback, output is bit-identical to the first-order engine
+// and existing v1 stores resume unchanged.
 //
 // With -out, every wearer's record is also appended to a telemetry store
 // (block-compressed, CRC-protected, checkpointed — see
@@ -53,6 +66,26 @@ import (
 	"wiban/internal/telemetry"
 	"wiban/internal/units"
 )
+
+// adoptVersion picks the store format a -resume continues in: the
+// store's own (older) format when it can still represent the requested
+// sweep — uncoupled runs read any version, coupled runs need the v1
+// cell columns, feedback runs the v2 equilibrium columns — and the
+// current format otherwise, so the meta equality guard surfaces the
+// mismatch instead of the writer silently dropping columns.
+func adoptVersion(storeVersion, cells int, feedback bool) int {
+	needed := telemetry.FormatV0
+	if cells > 0 {
+		needed = telemetry.FormatV1
+	}
+	if feedback {
+		needed = telemetry.FormatV2
+	}
+	if storeVersion >= needed {
+		return storeVersion
+	}
+	return telemetry.CurrentFormat
+}
 
 // cellsForDensity derives the cell count hitting a target wearers-per-
 // cell: ceil(wearers/density), never below 1. Fractional densities are
@@ -81,6 +114,10 @@ func main() {
 
 		cells   = flag.Int("cells", 0, "spatial cells sharing RF spectrum (0 = uncoupled wearers)")
 		density = flag.Float64("density", 0, "target wearers per cell; derives -cells = ceil(wearers/density)")
+
+		feedback = flag.Bool("feedback", false, "close the collision→retry→offered-load loop (fixed-point phase 1; needs -cells or -density)")
+		maxIters = flag.Int("max-iters", spectrum.DefaultMaxIters, "feedback fixed-point iteration cap per cell (≥ 1)")
+		tolPPM   = flag.Int64("tol", spectrum.DefaultTolPPM, "feedback fixed-point convergence tolerance in PPM (≥ 1)")
 
 		outPath   = flag.String("out", "", "stream per-wearer records to a telemetry store at this path")
 		resume    = flag.Bool("resume", false, "resume the interrupted sweep checkpointed in -out")
@@ -122,8 +159,24 @@ func main() {
 		}
 		*cells = cellsForDensity(*wearers, *density)
 	}
+	if *feedback {
+		if *cells <= 0 {
+			fail(2, "usage: -feedback needs a spectrum topology; pass -cells or -density")
+		}
+		if *maxIters <= 0 {
+			fail(2, "usage: -max-iters must be a positive iteration cap, got %d", *maxIters)
+		}
+		if *tolPPM <= 0 {
+			fail(2, "usage: -tol must be a positive PPM tolerance, got %d", *tolPPM)
+		}
+	}
 	if *cells > 0 {
 		f.Coupling = &fleet.Coupling{Cells: *cells, Model: spectrum.Default()}
+		if *feedback {
+			f.Coupling.Feedback = true
+			f.Coupling.MaxIters = *maxIters
+			f.Coupling.TolPPM = *tolPPM
+		}
 		scenarioTag += ";" + f.Coupling.Tag()
 	} else if *cells < 0 {
 		fail(2, "negative cell count %d", *cells)
@@ -144,6 +197,7 @@ func main() {
 			BlockSize:   *blockSize,
 			Version:     telemetry.CurrentFormat,
 			Cells:       *cells,
+			Feedback:    *feedback && *cells > 0,
 		}
 		var err error
 		if *resume {
@@ -152,9 +206,7 @@ func main() {
 			}
 			got := store.Meta()
 			meta.BlockSize = got.BlockSize // block size is the store's to keep
-			if got.Cells == 0 && *cells == 0 {
-				meta.Version = got.Version // an uncoupled legacy store may stay v0
-			}
+			meta.Version = adoptVersion(got.Version, *cells, meta.Feedback)
 			if got != meta {
 				store.Abort()
 				fail(2, "resume flags describe a different sweep than %s:\n  store: %+v\n  flags: %+v", *outPath, got, meta)

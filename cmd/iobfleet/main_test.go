@@ -1,8 +1,12 @@
 package main
 
 import (
+	"errors"
 	"fmt"
+	"os"
+	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"wiban/internal/fleet"
@@ -10,6 +14,83 @@ import (
 	"wiban/internal/telemetry"
 	"wiban/internal/units"
 )
+
+// TestMain lets tests re-exec this binary as the real iobfleet command,
+// pinning actual process exit codes and stderr rather than in-process
+// error values.
+func TestMain(m *testing.M) {
+	if os.Getenv("IOBFLEET_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0) // main returned without failing
+	}
+	os.Exit(m.Run())
+}
+
+// runMain re-executes the test binary as iobfleet with the given args,
+// returning the exit code and combined output.
+func runMain(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	bin, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Env = append(os.Environ(), "IOBFLEET_RUN_MAIN=1")
+	var out strings.Builder
+	cmd.Stdout, cmd.Stderr = &out, &out
+	runErr := cmd.Run()
+	t.Logf("iobfleet %s: %v\n%s", strings.Join(args, " "), runErr, out.String())
+	if runErr == nil {
+		return 0, out.String()
+	}
+	var ee *exec.ExitError
+	if !errors.As(runErr, &ee) {
+		t.Fatal(runErr)
+	}
+	return ee.ExitCode(), out.String()
+}
+
+// TestFeedbackKnobExitCodes pins the real process behavior of the
+// feedback flag validation: out-of-domain knobs exit non-zero with a
+// usage message before any simulation starts, and a well-formed
+// feedback sweep exits zero.
+func TestFeedbackKnobExitCodes(t *testing.T) {
+	base := []string{"-wearers", "8", "-dur", "1", "-cells", "2", "-feedback"}
+	for name, extra := range map[string][]string{
+		"zero tolerance":         {"-tol", "0"},
+		"negative tolerance":     {"-tol", "-5"},
+		"zero iteration cap":     {"-max-iters", "0"},
+		"negative iteration cap": {"-max-iters", "-1"},
+	} {
+		t.Run(name, func(t *testing.T) {
+			code, out := runMain(t, append(append([]string{}, base...), extra...)...)
+			if code == 0 {
+				t.Fatalf("invalid knob %v exited 0", extra)
+			}
+			if !strings.Contains(out, "usage") {
+				t.Errorf("no usage message in output:\n%s", out)
+			}
+		})
+	}
+	t.Run("feedback without cells", func(t *testing.T) {
+		code, out := runMain(t, "-wearers", "8", "-dur", "1", "-feedback")
+		if code == 0 {
+			t.Fatal("-feedback without a topology exited 0")
+		}
+		if !strings.Contains(out, "usage") {
+			t.Errorf("no usage message in output:\n%s", out)
+		}
+	})
+	t.Run("valid feedback sweep", func(t *testing.T) {
+		code, out := runMain(t, append(append([]string{}, base...), "-workers", "2")...)
+		if code != 0 {
+			t.Fatalf("valid feedback sweep exited %d", code)
+		}
+		if !strings.Contains(out, "fingerprint") {
+			t.Errorf("no fingerprint line in output:\n%s", out)
+		}
+	})
+}
 
 // TestDefaultFlagsProduceRunnableFleet mirrors main's construction with
 // the default flag values and runs a miniature sweep: if a default ever
@@ -205,6 +286,190 @@ func TestCoupledOutResumeFlow(t *testing.T) {
 	}
 	if agg.Report().Fingerprint() != want.Fingerprint() {
 		t.Fatal("resumed coupled CLI flow diverged from uninterrupted run")
+	}
+}
+
+// TestFeedbackOutResumeFlow mirrors main's -feedback composition: an
+// equilibrium-coupled sweep streamed to a v2 store, killed mid-block,
+// resumed with matching flags — the fingerprint must equal an
+// uninterrupted feedback run's, which requires the store to replay the
+// equilibrium columns and the engine to re-solve the fixed point over
+// the full population.
+func TestFeedbackOutResumeFlow(t *testing.T) {
+	gen := &fleet.Generator{Base: fleet.DefaultBase(), PERSpread: 0.5, BLEFraction: 0.5}
+	if err := gen.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mkFleet := func() *fleet.Fleet {
+		return &fleet.Fleet{
+			Wearers: 40, Seed: 11, Scenario: gen.Scenario(),
+			Span: 5 * units.Second, Workers: 2,
+			Coupling: &fleet.Coupling{Cells: 4, Model: spectrum.Default(), Feedback: true},
+		}
+	}
+	meta := telemetry.Meta{
+		FleetSeed: 11, Wearers: 40, SpanSeconds: 5,
+		Scenario:  gen.Tag() + ";" + mkFleet().Coupling.Tag(),
+		BlockSize: 8, Version: telemetry.CurrentFormat, Cells: 4, Feedback: true,
+	}
+
+	want, _, err := mkFleet().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "feedback.wtl")
+	store, err := telemetry.Create(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	killer := fleet.SinkFunc(func(rec telemetry.Record) error {
+		if seen == 21 {
+			return fmt.Errorf("simulated kill")
+		}
+		seen++
+		return store.Consume(rec)
+	})
+	if _, err := mkFleet().Stream(killer); err == nil {
+		t.Fatal("kill-sink did not abort")
+	}
+	if err := store.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := telemetry.Resume(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resumed.Meta(); got != meta {
+		t.Fatalf("store meta %+v, flags %+v — the guard in main would refuse its own store", got, meta)
+	}
+	// The meta guard must tell a first-order sweep from a feedback one.
+	other := meta
+	other.Feedback = false
+	if resumed.Meta() == other {
+		t.Fatal("meta guard cannot tell feedback from first-order sweeps")
+	}
+	r, err := telemetry.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := fleet.NewStreamAggregator(5 * units.Second)
+	replayed, err := fleet.Replay(r, agg)
+	r.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != resumed.NextWearer() {
+		t.Fatalf("replayed %d, checkpoint %d", replayed, resumed.NextWearer())
+	}
+	f := mkFleet()
+	f.Start = resumed.NextWearer()
+	if _, err := f.Stream(fleet.Tee(resumed, agg)); err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Report().Fingerprint() != want.Fingerprint() {
+		t.Fatal("resumed feedback CLI flow diverged from uninterrupted run")
+	}
+}
+
+// TestResumeAdoptsOlderStoreVersion pins the version-adoption rule main
+// applies on -resume: a store written in an older format is continued
+// in that format when it can still represent the sweep (a v1 store for
+// a first-order coupled resume), and the current format is demanded
+// when it cannot (a feedback resume needs the v2 columns).
+func TestResumeAdoptsOlderStoreVersion(t *testing.T) {
+	for _, c := range []struct {
+		store, cells int
+		feedback     bool
+		want         int
+	}{
+		{telemetry.FormatV0, 0, false, telemetry.FormatV0},
+		{telemetry.FormatV1, 0, false, telemetry.FormatV1},
+		{telemetry.FormatV1, 4, false, telemetry.FormatV1},
+		{telemetry.FormatV1, 4, true, telemetry.CurrentFormat}, // mismatch → guard will refuse
+		{telemetry.FormatV2, 4, true, telemetry.FormatV2},
+		{telemetry.FormatV0, 4, false, telemetry.CurrentFormat}, // v0 cannot hold cells
+	} {
+		if got := adoptVersion(c.store, c.cells, c.feedback); got != c.want {
+			t.Errorf("store v%d cells=%d feedback=%t: adopted v%d, want v%d",
+				c.store, c.cells, c.feedback, got, c.want)
+		}
+	}
+
+	// End to end: a first-order coupled sweep killed into a v1 store
+	// (what a PR 3 binary wrote) resumes under the current binary and
+	// reproduces the uninterrupted fingerprint.
+	gen := &fleet.Generator{Base: fleet.DefaultBase(), BLEFraction: 1}
+	if err := gen.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mkFleet := func() *fleet.Fleet {
+		return &fleet.Fleet{
+			Wearers: 30, Seed: 3, Scenario: gen.Scenario(),
+			Span: 5 * units.Second, Workers: 2,
+			Coupling: &fleet.Coupling{Cells: 3, Model: spectrum.Default()},
+		}
+	}
+	want, _, err := mkFleet().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metaV1 := telemetry.Meta{
+		FleetSeed: 3, Wearers: 30, SpanSeconds: 5,
+		Scenario:  gen.Tag() + ";" + mkFleet().Coupling.Tag(),
+		BlockSize: 8, Version: telemetry.FormatV1, Cells: 3,
+	}
+	path := filepath.Join(t.TempDir(), "v1.wtl")
+	store, err := telemetry.Create(path, metaV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	killer := fleet.SinkFunc(func(rec telemetry.Record) error {
+		if seen == 17 {
+			return fmt.Errorf("simulated kill")
+		}
+		seen++
+		return store.Consume(rec)
+	})
+	if _, err := mkFleet().Stream(killer); err == nil {
+		t.Fatal("kill-sink did not abort")
+	}
+	if err := store.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := telemetry.Resume(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resumed.Meta(); got.Version != telemetry.FormatV1 {
+		t.Fatalf("resumed v1 store reports version %d", got.Version)
+	}
+	r, err := telemetry.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := fleet.NewStreamAggregator(5 * units.Second)
+	replayed, err := fleet.Replay(r, agg)
+	r.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := mkFleet()
+	f.Start = replayed
+	if _, err := f.Stream(fleet.Tee(resumed, agg)); err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Report().Fingerprint() != want.Fingerprint() {
+		t.Fatal("v1 store resumed under the current binary diverged")
 	}
 }
 

@@ -20,7 +20,10 @@
 // tails a kill left behind. `cells` renders the spectrum-coupled sweep's
 // per-cell congestion table (iobfleet -cells/-density): wearers, foreign
 // offered load, the equivalent RF link-budget penalty, delivery and
-// death counts per cell.
+// death counts per cell; on a feedback-coupled store (iobfleet
+// -feedback, format v2) it adds the equilibrium retry-inflated load next
+// to the first-order one plus each cell's fixed-point iteration count,
+// while pre-feedback stores keep the original columns.
 package main
 
 import (
@@ -119,7 +122,11 @@ func info(r *telemetry.Reader) error {
 		fmt.Printf("  scenario:    %s\n", m.Scenario)
 	}
 	if m.Cells > 0 {
-		fmt.Printf("  spectrum:    coupled, %d cells (format v%d)\n", m.Cells, m.Version)
+		mode := "first-order"
+		if m.Feedback {
+			mode = "feedback equilibrium"
+		}
+		fmt.Printf("  spectrum:    coupled, %d cells, %s (format v%d)\n", m.Cells, mode, m.Version)
 	}
 	fmt.Printf("  checkpoint:  valid=%t  complete=%t\n", r.Checkpointed(), n == m.Wearers)
 	fmt.Printf("  size:        %d bytes on disk, %d raw (%.2fx compression, %.1f B/wearer)\n",
@@ -162,7 +169,10 @@ func report(r *telemetry.Reader) error {
 // sweep: who shared a cell, how loud it was, and what that did to
 // delivery. The dB column translates each cell's mean foreign load into
 // the equivalent RF link-budget penalty via the load-aware congestion
-// curve (wiban/internal/channel).
+// curve (wiban/internal/channel). On a feedback-coupled (format v2)
+// store two extra columns show the first-order and equilibrium loads
+// side by side plus each cell's fixed-point round count; a pre-feedback
+// store renders the original table.
 func cells(r *telemetry.Reader) error {
 	m := r.Meta()
 	agg := fleet.NewStreamAggregator(units.Duration(m.SpanSeconds))
@@ -177,17 +187,34 @@ func cells(r *telemetry.Reader) error {
 	path := channel.DefaultBLEPath()
 	fmt.Printf("spectrum cells: %d populated of %d (%d wearers, %d nodes)\n",
 		len(rep.Cells), m.Cells, n, rep.Nodes)
-	fmt.Printf("%6s %8s %6s %12s %9s %10s %6s\n",
-		"cell", "wearers", "nodes", "foreign[erl]", "rise[dB]", "delivery", "died")
+	if m.Feedback {
+		fmt.Printf("%6s %8s %6s %12s %9s %6s %9s %10s %6s\n",
+			"cell", "wearers", "nodes", "foreign[erl]", "eq[erl]", "iters", "rise[dB]", "delivery", "died")
+	} else {
+		fmt.Printf("%6s %8s %6s %12s %9s %10s %6s\n",
+			"cell", "wearers", "nodes", "foreign[erl]", "rise[dB]", "delivery", "died")
+	}
 	for _, c := range rep.Cells {
 		// CongestionLossDB wants the band-busy fraction, not offered
 		// load: an unslotted channel offered G erlangs is busy 1−e^(−G)
 		// of the time, which keeps the column discriminating well past
-		// G = 1 instead of pinning at the curve's saturation clamp.
-		busy := 1 - math.Exp(-c.MeanForeignLoad)
-		fmt.Printf("%6d %8d %6d %12.4f %9.2f %10.4f %6d\n",
-			c.Cell, c.Wearers, c.Nodes, c.MeanForeignLoad,
-			path.CongestionLossDB(busy), c.MeanDelivery, c.Died)
+		// G = 1 instead of pinning at the curve's saturation clamp. On a
+		// feedback store the equilibrium load is the better congestion
+		// estimate, so the dB column uses it.
+		load := c.MeanForeignLoad
+		if m.Feedback {
+			load = c.MeanEqForeignLoad
+		}
+		busy := 1 - math.Exp(-load)
+		if m.Feedback {
+			fmt.Printf("%6d %8d %6d %12.4f %9.4f %6d %9.2f %10.4f %6d\n",
+				c.Cell, c.Wearers, c.Nodes, c.MeanForeignLoad, c.MeanEqForeignLoad,
+				c.FeedbackIters, path.CongestionLossDB(busy), c.MeanDelivery, c.Died)
+		} else {
+			fmt.Printf("%6d %8d %6d %12.4f %9.2f %10.4f %6d\n",
+				c.Cell, c.Wearers, c.Nodes, c.MeanForeignLoad,
+				path.CongestionLossDB(busy), c.MeanDelivery, c.Died)
+		}
 	}
 	return nil
 }

@@ -3,7 +3,6 @@ package main
 import (
 	"bytes"
 	"errors"
-	"fmt"
 	"io"
 	"os"
 	"os/exec"
@@ -11,7 +10,6 @@ import (
 	"strings"
 	"testing"
 
-	"wiban/internal/desim"
 	"wiban/internal/fleet"
 	"wiban/internal/telemetry"
 	"wiban/internal/units"
@@ -113,13 +111,15 @@ func TestMain(m *testing.M) {
 	os.Exit(m.Run())
 }
 
-// corruptPastStaleCheckpoint forges a valid sidecar that only vouches
-// for the store's first block, then flips a byte in its final block —
-// the damage a checkpoint-trusting verify used to miss.
+// corruptPastStaleCheckpoint installs a genuinely valid sidecar that
+// only vouches for the store's first block, then flips a byte in its
+// final block — the damage a checkpoint-trusting verify used to miss.
+// The stale sidecar is produced by the telemetry layer itself (a scan
+// resume over a copy of the one-block prefix), so it carries a correct
+// self-CRC and seed check — exactly what a kill after the first commit
+// would have left behind.
 func corruptPastStaleCheckpoint(t *testing.T, path string, blockSize int) {
 	t.Helper()
-	r := open(t, path)
-	meta := r.Meta()
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -129,9 +129,23 @@ func corruptPastStaleCheckpoint(t *testing.T, path string, blockSize int) {
 	if first < 0 || second < 0 {
 		t.Fatalf("store has fewer than two blocks (first=%d second=%d)", first, second)
 	}
-	ck := fmt.Sprintf(`{"offset":%d,"blocks":1,"next_wearer":%d,"seed_check":%d}`,
-		first+4+second, blockSize, desim.DeriveSeed(meta.FleetSeed, 2*uint64(blockSize)))
-	if err := os.WriteFile(telemetry.CheckpointPath(path), []byte(ck), 0o644); err != nil {
+	scratch := filepath.Join(t.TempDir(), "stale.wtl")
+	if err := os.WriteFile(scratch, data[:first+4+second], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := telemetry.Resume(scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NextWearer() != blockSize {
+		t.Fatalf("one-block prefix checkpointed at wearer %d, want %d", w.NextWearer(), blockSize)
+	}
+	w.Abort()
+	ck, err := os.ReadFile(telemetry.CheckpointPath(scratch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(telemetry.CheckpointPath(path), ck, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	data[len(data)-6] ^= 0x20 // damage inside the final block, past the stale checkpoint
@@ -258,5 +272,71 @@ func TestCellsReport(t *testing.T) {
 	}
 	if err := info(open(t, path)); err != nil {
 		t.Errorf("info on coupled store: %v", err)
+	}
+}
+
+// writeCoupledStore streams a miniature coupled sweep into a store of
+// the given format, optionally with the feedback loop closed.
+func writeCoupledStore(t *testing.T, version int, feedback bool) string {
+	t.Helper()
+	f := &fleet.Fleet{
+		Wearers:  40,
+		Seed:     5,
+		Scenario: (&fleet.Generator{Base: fleet.DefaultBase(), BLEFraction: 1}).Scenario(),
+		Span:     5 * units.Second,
+		Workers:  2,
+		Coupling: &fleet.Coupling{Cells: 4, Feedback: feedback},
+	}
+	path := filepath.Join(t.TempDir(), "coupled.wtl")
+	store, err := telemetry.Create(path, telemetry.Meta{
+		FleetSeed: f.Seed, Wearers: f.Wearers, SpanSeconds: float64(f.Span),
+		Scenario: "cells-test;" + f.Coupling.Tag(), BlockSize: 8,
+		Version: version, Cells: f.Coupling.Cells, Feedback: feedback,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Stream(store); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCellsColumnsByFormat pins the real command's rendering across
+// store generations: a v1 (pre-feedback) store renders the per-cell
+// table without equilibrium columns instead of erroring, and a feedback
+// (v2) store shows the first-order and equilibrium loads side by side.
+func TestCellsColumnsByFormat(t *testing.T) {
+	bin, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(path string) string {
+		cmd := exec.Command(bin, "cells", path)
+		cmd.Env = append(os.Environ(), "IOBTRACE_RUN_MAIN=1")
+		var out strings.Builder
+		cmd.Stdout, cmd.Stderr = &out, &out
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("iobtrace cells %s: %v\n%s", path, err, out.String())
+		}
+		return out.String()
+	}
+
+	v1 := run(writeCoupledStore(t, telemetry.FormatV1, false))
+	if !strings.Contains(v1, "foreign[erl]") {
+		t.Errorf("v1 table lost the first-order column:\n%s", v1)
+	}
+	if strings.Contains(v1, "eq[erl]") || strings.Contains(v1, "iters") {
+		t.Errorf("v1 (pre-feedback) store rendered equilibrium columns:\n%s", v1)
+	}
+
+	fb := run(writeCoupledStore(t, telemetry.CurrentFormat, true))
+	for _, col := range []string{"foreign[erl]", "eq[erl]", "iters"} {
+		if !strings.Contains(fb, col) {
+			t.Errorf("feedback table missing %q:\n%s", col, fb)
+		}
 	}
 }

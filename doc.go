@@ -26,20 +26,29 @@
 //     per-wearer seeds (desim.DeriveSeed). With a Coupling the engine
 //     runs two-phased: a deterministic per-cell offered-load reduction,
 //     then per-wearer kernels whose RF links carry their cell's
-//     collision loss (iobfleet -cells/-density sweeps);
+//     collision loss (iobfleet -cells/-density sweeps); with Feedback
+//     the reduction additionally solves each cell's damped fixed point
+//     of the collision→retry→offered-load loop, so kernels see the
+//     equilibrium congestion a dense venue settles at (iobfleet
+//     -feedback, knobs -max-iters/-tol);
 //   - internal/spectrum — cross-wearer co-channel interference: wearers
 //     hash into spatial cells, each cell sums its members' offered RF
 //     airtime in exact integer PPM, and a CSMA/ALOHA collision curve
 //     maps foreign load to per-attempt loss — RF degrades with fleet
 //     density while body-coupled EQS/MQS links ride free, the paper's
-//     shared-spectrum argument at fleet scale;
+//     shared-spectrum argument at fleet scale; spectrum.Equilibrium
+//     closes the collision→retry→offered-load loop with a
+//     deterministic damped fixed point per cell (retry-inflated
+//     airtime, geometric in each node's retry budget);
 //   - internal/telemetry — the streaming fleet-telemetry store
 //     (cmd/iobtrace inspects it): delta/bit-packed columnar blocks with
 //     CRC footers plus an atomically-renamed checkpoint sidecar, so a
 //     killed million-wearer sweep resumes from its last committed block
 //     (iobfleet -out/-resume) and re-derives a bit-identical
 //     fingerprint; format v1 stores each wearer's cell and foreign load
-//     so coupled sweeps replay exactly;
+//     so coupled sweeps replay exactly, and format v2 adds the
+//     equilibrium load and fixed-point iteration columns feedback
+//     sweeps replay from;
 //   - internal/figures — generators for every figure and table in the
 //     paper (also exposed through cmd/iobfig and the root benchmarks).
 //

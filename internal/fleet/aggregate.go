@@ -116,6 +116,16 @@ type CellStat struct {
 	MeanDelivery float64
 	// Died counts member nodes whose battery died mid-run.
 	Died int
+	// MeanEqForeignLoad is the mean *equilibrium* (collision-retry-
+	// inflated) foreign load a member saw, in erlangs. Zero — and omitted
+	// from the fingerprint JSON, so first-order fingerprints replay
+	// unchanged — unless the sweep closed the feedback loop.
+	MeanEqForeignLoad float64 `json:",omitempty"`
+	// FeedbackIters is how many damped fixed-point rounds the cell's
+	// equilibrium took (0 = already at equilibrium, e.g. a lone wearer;
+	// a value equal to the coupling's MaxIters may mean the cap cut the
+	// iteration short). Zero and omitted on first-order sweeps.
+	FeedbackIters int `json:",omitempty"`
 }
 
 // Aggregate merges per-wearer reports (indexed by wearer) into the fleet
@@ -201,9 +211,14 @@ func (r *Report) String() string {
 		r.PerpetualFraction*100, r.DiedFraction*100)
 	if len(r.Cells) > 0 {
 		minD, maxD := r.Cells[0].MeanDelivery, r.Cells[0].MeanDelivery
-		var load float64
+		var load, eqLoad float64
+		maxIters := 0
 		for _, c := range r.Cells {
 			load += c.MeanForeignLoad * float64(c.Wearers)
+			eqLoad += c.MeanEqForeignLoad * float64(c.Wearers)
+			if c.FeedbackIters > maxIters {
+				maxIters = c.FeedbackIters
+			}
 			if c.MeanDelivery < minD {
 				minD = c.MeanDelivery
 			}
@@ -213,6 +228,10 @@ func (r *Report) String() string {
 		}
 		fmt.Fprintf(&b, "\n  spectrum:  %d cells, mean foreign load %.3f erlangs, cell delivery %.3f–%.3f",
 			len(r.Cells), load/float64(r.Wearers), minD, maxD)
+		if eqLoad > 0 || maxIters > 0 {
+			fmt.Fprintf(&b, "\n  feedback:  equilibrium foreign load %.3f erlangs (fixed point ≤%d rounds)",
+				eqLoad/float64(r.Wearers), maxIters)
+		}
 	}
 	return b.String()
 }

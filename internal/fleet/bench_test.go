@@ -79,11 +79,11 @@ func TestFleetParallelSpeedup(t *testing.T) {
 // uncoupled benchmark and the delta is pure engine overhead: phase 1
 // plus coupling bookkeeping. The acceptance budget is ≤10% vs the
 // uncoupled workers-matched baseline in BENCH_fleet.json.
-func benchCoupledFleet(b *testing.B, workers, cells int) {
+func benchCoupledFleet(b *testing.B, workers, cells int, feedback bool) {
 	b.Helper()
 	f := testFleet(200, workers, 42)
 	f.Span = 60 * units.Second
-	f.Coupling = &Coupling{Cells: cells}
+	f.Coupling = &Coupling{Cells: cells, Feedback: feedback}
 	b.ReportAllocs()
 	var last Perf
 	for i := 0; i < b.N; i++ {
@@ -101,10 +101,24 @@ func benchCoupledFleet(b *testing.B, workers, cells int) {
 // BenchmarkFleetCoupledSparse is the engine-overhead benchmark (density
 // ≈ 0: identical physics to BenchmarkFleetWorkers4, so the runs/s gap is
 // the two-phase cost).
-func BenchmarkFleetCoupledSparse(b *testing.B) { benchCoupledFleet(b, 4, 1<<20) }
+func BenchmarkFleetCoupledSparse(b *testing.B) { benchCoupledFleet(b, 4, 1<<20, false) }
 
 // BenchmarkFleetCoupledDense is the physics-inclusive benchmark: ~12
 // wearers per cell of contending BLE traffic, the shape of a real
 // density sweep (collision retries add events, so runs/s is expected to
 // move with the workload, not the engine).
-func BenchmarkFleetCoupledDense(b *testing.B) { benchCoupledFleet(b, 4, 16) }
+func BenchmarkFleetCoupledDense(b *testing.B) { benchCoupledFleet(b, 4, 16, false) }
+
+// BenchmarkFleetFeedbackSparse is the equilibrium-overhead benchmark:
+// every wearer is alone in its cell, so every fixed point is trivial
+// (zero rounds) and the physics match CoupledSparse exactly — the
+// runs/s gap vs CoupledSparse is the cost of the feedback machinery
+// itself (member gathering plus the solve walk). The acceptance budget
+// is ≤10% over the two-phase baseline, matching PR 3's discipline.
+func BenchmarkFleetFeedbackSparse(b *testing.B) { benchCoupledFleet(b, 4, 1<<20, true) }
+
+// BenchmarkFleetFeedbackDense iterates real fixed points (~12 wearers
+// per cell of contending BLE traffic). Like CoupledDense it moves with
+// the workload — equilibrium collisions add retries and events — so
+// phase1-ms, not runs/s, is the engine-cost signal.
+func BenchmarkFleetFeedbackDense(b *testing.B) { benchCoupledFleet(b, 4, 16, true) }

@@ -37,6 +37,24 @@ type Coupling struct {
 	// Model maps a cell's foreign offered load to a collision
 	// probability. Nil means spectrum.Default().
 	Model *spectrum.Model
+	// Feedback closes the collision→retry→offered-load loop: phase 1
+	// additionally solves, per cell, the damped fixed point of
+	// spectrum.Equilibrium — collisions inflate retransmissions, which
+	// inflate airtime, which inflate collisions — and phase 2 stamps each
+	// RF node's collision probability from its cell's *equilibrium*
+	// foreign load instead of the first-order one. The solve is a pure,
+	// single-threaded function of the gathered first-order loads, so
+	// every determinism contract (worker invariance, kill/resume) carries
+	// over; the cost is O(population) phase-1 memory for the per-wearer
+	// node loads the iteration needs. Off (false), the engine is
+	// bit-identical to the first-order two-phase engine.
+	Feedback bool
+	// MaxIters caps the fixed-point rounds per cell (0 =
+	// spectrum.DefaultMaxIters). Only meaningful with Feedback.
+	MaxIters int
+	// TolPPM is the fixed-point convergence tolerance in integer PPM
+	// (0 = spectrum.DefaultTolPPM). Only meaningful with Feedback.
+	TolPPM int64
 }
 
 // model returns the effective collision model.
@@ -52,14 +70,42 @@ func (c *Coupling) validate() error {
 	if c.Cells <= 0 {
 		return fmt.Errorf("fleet: coupling needs a positive cell count, got %d", c.Cells)
 	}
-	return c.model().Validate()
+	if err := c.model().Validate(); err != nil {
+		return err
+	}
+	return c.equilibrium().Validate()
+}
+
+// equilibrium is the effective fixed-point solver of a feedback coupling.
+func (c *Coupling) equilibrium() *spectrum.Equilibrium {
+	return &spectrum.Equilibrium{Model: c.Model, MaxIters: c.MaxIters, TolPPM: c.TolPPM}
+}
+
+// effIters and effTol render the solver knobs with defaults applied.
+func (c *Coupling) effIters() int {
+	if c.MaxIters == 0 {
+		return spectrum.DefaultMaxIters
+	}
+	return c.MaxIters
+}
+
+func (c *Coupling) effTol() int64 {
+	if c.TolPPM == 0 {
+		return spectrum.DefaultTolPPM
+	}
+	return c.TolPPM
 }
 
 // Tag renders the coupling parameters as a stable string for telemetry
 // metadata, so a resumed sweep refuses flags describing a different
-// spectrum topology.
+// spectrum topology. A first-order coupling's tag is byte-identical to
+// the pre-feedback one, so existing v1 stores resume unchanged.
 func (c *Coupling) Tag() string {
-	return fmt.Sprintf("cells=%d;%s", c.Cells, c.model().Tag())
+	tag := fmt.Sprintf("cells=%d;%s", c.Cells, c.model().Tag())
+	if c.Feedback {
+		tag += fmt.Sprintf(";feedback:iters=%d,tol=%d", c.effIters(), c.effTol())
+	}
+	return tag
 }
 
 // cellOf is the wearer→cell assignment: a pure function of the wearer's
@@ -69,31 +115,59 @@ func (f *Fleet) cellOf(w int) int {
 	return spectrum.CellOf(desim.DeriveSeed(f.Seed, 2*uint64(w)), f.Coupling.Cells)
 }
 
-// offeredLoadPPM is a wearer's offered RF airtime in integer PPM: the
-// sum over its radiative (TechRF) nodes of application rate over link
-// goodput. Body-channel (EQS/MQS) nodes radiate nothing into the shared
-// band and contribute zero — their immunity is the model, not a special
-// case downstream. Retransmission expansion is deliberately excluded:
-// offered load is first-order input traffic, and closing the
-// collision→retry→load feedback loop is a fixed-point refinement left
-// for a future PR.
-func offeredLoadPPM(cfg *bannet.Config) int64 {
-	var ppm int64
-	for i := range cfg.Nodes {
-		n := &cfg.Nodes[i]
-		if n.Radio == nil || n.Radio.Tech != radio.TechRF || n.Sensor == nil || n.Policy == nil {
-			continue
-		}
-		if n.Radio.Goodput <= 0 {
-			continue
-		}
-		duty := float64(n.Policy.OutputRate(n.Sensor.DataRate())) / float64(n.Radio.Goodput)
-		if duty > 1 {
-			duty = 1
-		}
-		ppm += spectrum.ToPPM(duty)
+// nodeOfferedPPM is one node's first-order offered airtime —
+// application rate over link goodput, in integer PPM, capped at 100%
+// duty — or ok = false for nodes that radiate nothing into the shared
+// band: body-channel (EQS/MQS) nodes' immunity is the model, not a
+// special case downstream. Retransmission expansion is deliberately
+// excluded here: offered load is first-order input traffic, and the
+// feedback engine inflates it with the retry budget at equilibrium
+// (spectrum.Equilibrium).
+func nodeOfferedPPM(n *bannet.NodeConfig) (ppm int64, ok bool) {
+	if n.Radio == nil || n.Radio.Tech != radio.TechRF || n.Sensor == nil || n.Policy == nil {
+		return 0, false
 	}
-	return ppm
+	if n.Radio.Goodput <= 0 {
+		return 0, false
+	}
+	duty := float64(n.Policy.OutputRate(n.Sensor.DataRate())) / float64(n.Radio.Goodput)
+	if duty > 1 {
+		duty = 1
+	}
+	return spectrum.ToPPM(duty), true
+}
+
+// appendNodeLoads appends each radiative node's first-order offered
+// load and retransmission budget to dst — the per-member input of the
+// feedback fixed point.
+func appendNodeLoads(dst []spectrum.NodeLoad, cfg *bannet.Config) []spectrum.NodeLoad {
+	for i := range cfg.Nodes {
+		if ppm, ok := nodeOfferedPPM(&cfg.Nodes[i]); ok {
+			dst = append(dst, spectrum.NodeLoad{BasePPM: ppm, Retries: cfg.Nodes[i].MaxRetries})
+		}
+	}
+	return dst
+}
+
+// offeredLoadPPM is a wearer's total first-order offered RF airtime in
+// integer PPM. It sums in place — no allocation on the per-wearer hot
+// paths of both engine phases.
+func offeredLoadPPM(cfg *bannet.Config) int64 {
+	var total int64
+	for i := range cfg.Nodes {
+		if ppm, ok := nodeOfferedPPM(&cfg.Nodes[i]); ok {
+			total += ppm
+		}
+	}
+	return total
+}
+
+// phase1 carries the offered-load reduction's results into phase 2: the
+// first-order per-cell table always, plus the per-wearer equilibrium
+// solution when the coupling closes the feedback loop.
+type phase1 struct {
+	loads *spectrum.LoadTable
+	eq    *spectrum.Result // nil unless Coupling.Feedback
 }
 
 // offeredLoads is phase 1: the deterministic per-cell load reduction over
@@ -101,13 +175,20 @@ func offeredLoadPPM(cfg *bannet.Config) int64 {
 // resumed sweep sees the loads the interrupted one did. Workers
 // accumulate into private tables over contiguous chunks and the integer
 // merges commute, so the result is bit-identical for any worker count.
-// A failing scenario surfaces as the lowest failing wearer index,
-// matching the phase-2 error contract.
-func (f *Fleet) offeredLoads(workers int) (*spectrum.LoadTable, error) {
+// In feedback mode the workers additionally record each wearer's
+// per-node loads into a wearer-indexed slice (disjoint writes, so no
+// ordering can matter) and a single-threaded fixed-point solve follows —
+// equally worker-count invariant. A failing scenario surfaces as the
+// lowest failing wearer index, matching the phase-2 error contract.
+func (f *Fleet) offeredLoads(workers int) (*phase1, error) {
 	cells := f.Coupling.Cells
 	total, err := spectrum.NewLoadTable(cells)
 	if err != nil {
 		return nil, err
+	}
+	var members []spectrum.Member
+	if f.Coupling.Feedback {
+		members = make([]spectrum.Member, f.Wearers)
 	}
 	const chunk = 256
 	var (
@@ -147,7 +228,18 @@ func (f *Fleet) offeredLoads(workers int) (*spectrum.LoadTable, error) {
 						}
 						continue
 					}
-					if err := local.Add(f.cellOf(w), offeredLoadPPM(&cfg)); err != nil {
+					cell := f.cellOf(w)
+					var own int64
+					if members != nil {
+						m := spectrum.Member{Cell: cell, Nodes: appendNodeLoads(nil, &cfg)}
+						for _, nl := range m.Nodes {
+							own += nl.BasePPM
+						}
+						members[w] = m
+					} else {
+						own = offeredLoadPPM(&cfg)
+					}
+					if err := local.Add(cell, own); err != nil {
 						if localFail == -1 || w < localFail {
 							localFail, localErr = w, err
 						}
@@ -168,17 +260,33 @@ func (f *Fleet) offeredLoads(workers int) (*spectrum.LoadTable, error) {
 	if failIdx != -1 {
 		return nil, fmt.Errorf("fleet: offered-load phase: wearer %d: %w", failIdx, failErr)
 	}
-	return total, nil
+	p1 := &phase1{loads: total}
+	if members != nil {
+		eq, err := f.Coupling.equilibrium().Solve(cells, members)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: equilibrium phase: %w", err)
+		}
+		p1.eq = eq
+	}
+	return p1, nil
 }
 
 // applyInterference stamps the cell's collision probability onto the
 // config's RF nodes (copying the node slice first: the scenario may hand
-// out shared backing arrays) and returns the wearer's cell and foreign
-// load for telemetry.
-func (f *Fleet) applyInterference(w int, cfg *bannet.Config, loads *spectrum.LoadTable) (cell int, foreignPPM int64) {
+// out shared backing arrays) and returns the wearer's spectrum placement
+// for telemetry: its cell, first-order foreign load, and — in feedback
+// mode — the equilibrium foreign load the collision probability actually
+// came from plus the cell's fixed-point round count.
+func (f *Fleet) applyInterference(w int, cfg *bannet.Config, p1 *phase1) (cell int, foreignPPM, eqForeignPPM int64, iters int) {
 	cell = f.cellOf(w)
-	foreignPPM = loads.ForeignPPM(cell, offeredLoadPPM(cfg))
-	p := f.Coupling.model().CollisionProb(spectrum.Erlangs(foreignPPM))
+	foreignPPM = p1.loads.ForeignPPM(cell, offeredLoadPPM(cfg))
+	effPPM := foreignPPM
+	if p1.eq != nil {
+		eqForeignPPM = p1.eq.ForeignPPM(w, cell)
+		iters = p1.eq.Iters(cell)
+		effPPM = eqForeignPPM
+	}
+	p := f.Coupling.model().CollisionProb(spectrum.Erlangs(effPPM))
 	if p > 0 {
 		nodes := make([]bannet.NodeConfig, len(cfg.Nodes))
 		copy(nodes, cfg.Nodes)
@@ -189,7 +297,7 @@ func (f *Fleet) applyInterference(w int, cfg *bannet.Config, loads *spectrum.Loa
 			}
 		}
 	}
-	return cell, foreignPPM
+	return cell, foreignPPM, eqForeignPPM, iters
 }
 
 // effectiveWorkers mirrors the phase-2 worker sizing for phase 1.

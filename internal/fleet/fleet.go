@@ -17,7 +17,11 @@
 // Resume recomputes phase 1 over the full population regardless of
 // Start, so a resumed coupled sweep reproduces the interrupted one
 // exactly (the telemetry store's v1 format persists each wearer's cell
-// and foreign load for replay).
+// and foreign load for replay). With Coupling.Feedback phase 1
+// additionally solves each cell's collision→retry→offered-load fixed
+// point (spectrum.Equilibrium) — a pure single-threaded function of the
+// gathered loads, so every contract above carries over and the v2
+// telemetry format persists the equilibrium columns.
 //
 // # Determinism and the seed-derivation contract
 //
@@ -65,7 +69,6 @@ import (
 
 	"wiban/internal/bannet"
 	"wiban/internal/desim"
-	"wiban/internal/spectrum"
 	"wiban/internal/units"
 )
 
@@ -180,16 +183,21 @@ func (f *Fleet) Stream(sink Sink) (Perf, error) {
 		rec := RecordOf(w, out.rep)
 		rec.Cell = out.cell
 		rec.ForeignLoadPPM = out.foreignPPM
+		rec.EqForeignLoadPPM = out.eqForeignPPM
+		rec.FeedbackIters = out.iters
 		return sink.Consume(rec)
 	})
 }
 
 // wearerOut is one completed wearer simulation plus its spectrum
-// placement (cell −1 / load 0 on uncoupled sweeps).
+// placement (cell −1 / load 0 on uncoupled sweeps; the equilibrium
+// fields stay 0 unless the coupling closes the feedback loop).
 type wearerOut struct {
-	rep        *bannet.Report
-	cell       int
-	foreignPPM int64
+	rep          *bannet.Report
+	cell         int
+	foreignPPM   int64
+	eqForeignPPM int64
+	iters        int
 }
 
 // stream is the engine. In coupled mode it first runs phase 1 — the
@@ -225,14 +233,14 @@ func (f *Fleet) stream(emit func(w int, out wearerOut) error) (Perf, error) {
 		return Perf{}, nil
 	}
 	start := time.Now()
-	var loads *spectrum.LoadTable
-	var phase1 time.Duration
+	var loads *phase1
+	var phase1Cost time.Duration
 	if f.Coupling != nil {
 		var err error
 		if loads, err = f.offeredLoads(f.effectiveWorkers()); err != nil {
 			return Perf{}, err
 		}
-		phase1 = time.Since(start)
+		phase1Cost = time.Since(start)
 	}
 	workers := f.effectiveWorkers()
 	if workers > count {
@@ -323,7 +331,7 @@ func (f *Fleet) stream(emit func(w int, out wearerOut) error) (Perf, error) {
 	if failIdx != -1 {
 		return Perf{}, failErr
 	}
-	perf := Perf{Workers: workers, Elapsed: elapsed, MaxPending: maxPending, Phase1: phase1}
+	perf := Perf{Workers: workers, Elapsed: elapsed, MaxPending: maxPending, Phase1: phase1Cost}
 	if s := elapsed.Seconds(); s > 0 {
 		perf.RunsPerSec = float64(count) / s
 		perf.EventsPerSec = float64(events) / s
@@ -336,7 +344,7 @@ func (f *Fleet) stream(emit func(w int, out wearerOut) error) (Perf, error) {
 // collision probability stamped on; the scenario's own RNG discipline is
 // untouched, so a coupled and an uncoupled sweep of the same fleet seed
 // explore the identical population and differ only in interference.
-func (f *Fleet) runWearer(w int, loads *spectrum.LoadTable) (wearerOut, error) {
+func (f *Fleet) runWearer(w int, loads *phase1) (wearerOut, error) {
 	rng := rand.New(rand.NewSource(desim.DeriveSeed(f.Seed, 2*uint64(w))))
 	cfg, err := f.Scenario(w, rng)
 	if err != nil {
@@ -344,7 +352,7 @@ func (f *Fleet) runWearer(w int, loads *spectrum.LoadTable) (wearerOut, error) {
 	}
 	out := wearerOut{cell: -1}
 	if loads != nil {
-		out.cell, out.foreignPPM = f.applyInterference(w, &cfg, loads)
+		out.cell, out.foreignPPM, out.eqForeignPPM, out.iters = f.applyInterference(w, &cfg, loads)
 	}
 	cfg.Seed = desim.DeriveSeed(f.Seed, 2*uint64(w)+1)
 	sim, err := bannet.NewSim(cfg)

@@ -98,6 +98,8 @@ type StreamAggregator struct {
 type cellAcc struct {
 	wearers, nodes, died int
 	foreignPPM           int64
+	eqForeignPPM         int64
+	iters                int
 	deliverySum          float64
 }
 
@@ -134,6 +136,10 @@ func (a *StreamAggregator) Consume(rec telemetry.Record) error {
 		}
 		cell.wearers++
 		cell.foreignPPM += rec.ForeignLoadPPM
+		cell.eqForeignPPM += rec.EqForeignLoadPPM
+		if rec.FeedbackIters > cell.iters {
+			cell.iters = rec.FeedbackIters
+		}
 	}
 	for i := range rec.Nodes {
 		n := &rec.Nodes[i]
@@ -207,8 +213,9 @@ func (a *StreamAggregator) Report() *Report {
 		rep.Cells = make([]CellStat, 0, len(ids))
 		for _, id := range ids {
 			c := a.cells[id]
-			cs := CellStat{Cell: id, Wearers: c.wearers, Nodes: c.nodes, Died: c.died}
+			cs := CellStat{Cell: id, Wearers: c.wearers, Nodes: c.nodes, Died: c.died, FeedbackIters: c.iters}
 			cs.MeanForeignLoad = float64(c.foreignPPM) / float64(c.wearers) / 1e6
+			cs.MeanEqForeignLoad = float64(c.eqForeignPPM) / float64(c.wearers) / 1e6
 			if c.nodes > 0 {
 				cs.MeanDelivery = c.deliverySum / float64(c.nodes)
 			}

@@ -77,6 +77,18 @@ func encodeBlock(recs []Record, version int) []byte {
 			payload = compress.AppendDeltaInts(payload, ints)
 		}
 	}
+	if version >= FormatV2 {
+		for _, get := range []func(r *Record) int64{
+			func(r *Record) int64 { return r.EqForeignLoadPPM },
+			func(r *Record) int64 { return int64(r.FeedbackIters) },
+		} {
+			ints = ints[:0]
+			for i := range recs {
+				ints = append(ints, get(&recs[i]))
+			}
+			payload = compress.AppendDeltaInts(payload, ints)
+		}
+	}
 
 	perNode := []func(nr *NodeRecord) int64{
 		func(nr *NodeRecord) int64 { return nr.PacketsGenerated },
@@ -209,6 +221,15 @@ func decodeBlock(payload []byte, version int) ([]Record, error) {
 			return nil, err
 		}
 	}
+	var eqForeign, feedbackIters []int64
+	if version >= FormatV2 {
+		if eqForeign, err = intCol(count); err != nil {
+			return nil, err
+		}
+		if feedbackIters, err = intCol(count); err != nil {
+			return nil, err
+		}
+	}
 	var nodeInts [5][]int64
 	for i := range nodeInts {
 		if nodeInts[i], err = intCol(total); err != nil {
@@ -247,6 +268,10 @@ func decodeBlock(payload []byte, version int) ([]Record, error) {
 		if version >= FormatV1 {
 			recs[i].Cell = int(cells[i])
 			recs[i].ForeignLoadPPM = foreign[i]
+		}
+		if version >= FormatV2 {
+			recs[i].EqForeignLoadPPM = eqForeign[i]
+			recs[i].FeedbackIters = int(feedbackIters[i])
 		}
 		for j := 0; j < nc; j++ {
 			nodes[off+j] = NodeRecord{

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
 
 	"wiban/internal/desim"
@@ -19,6 +20,30 @@ type checkpoint struct {
 	// contract: it must equal desim.DeriveSeed(fleetSeed, 2·NextWearer),
 	// the scenario-stream seed of the wearer the resumed sweep starts at.
 	SeedCheck int64 `json:"seed_check"`
+	// CRC covers the other four fields (see sum). SeedCheck only ties
+	// NextWearer to the run, so a bit flip in Offset alone would still
+	// pass it — and a trusted garbage offset truncates the store
+	// mid-block. The CRC turns any such corruption into a clean fall
+	// back to the block scan. Absent (pre-CRC sidecars), the checkpoint
+	// is likewise rejected and the scan recovers the same prefix.
+	CRC uint32 `json:"crc"`
+}
+
+// consistentWith reports whether the checkpoint's offset plausibly
+// describes a data file with the given header length and size: inside
+// the file, and sitting exactly at the header iff no block is
+// committed. The reader's Open and the writer's resume must trust a
+// sidecar under the identical predicate, or replay and resume would
+// silently diverge — hence one shared method.
+func (ck *checkpoint) consistentWith(hdrLen, size int64) bool {
+	return ck.Offset >= hdrLen && ck.Offset <= size &&
+		(ck.Blocks == 0) == (ck.Offset == hdrLen)
+}
+
+// sum is the self-check over the checkpoint's payload fields.
+func (ck *checkpoint) sum() uint32 {
+	return crc32.ChecksumIEEE(fmt.Appendf(nil, "%d|%d|%d|%d",
+		ck.Offset, ck.Blocks, ck.NextWearer, ck.SeedCheck))
 }
 
 // CheckpointPath is the sidecar path for a store at path.
@@ -34,6 +59,7 @@ func (w *Writer) writeCheckpoint() error {
 		NextWearer: w.next - len(w.buf), // committed records only
 		SeedCheck:  desim.DeriveSeed(w.meta.FleetSeed, 2*uint64(w.next-len(w.buf))),
 	}
+	ck.CRC = ck.sum()
 	blob, err := json.Marshal(ck)
 	if err != nil {
 		return fmt.Errorf("telemetry: checkpoint: %w", err)
@@ -61,8 +87,21 @@ func readCheckpoint(path string, meta Meta) (checkpoint, error) {
 	if err := json.Unmarshal(blob, &ck); err != nil {
 		return ck, fmt.Errorf("%w: checkpoint: %v", ErrCorrupt, err)
 	}
-	if ck.NextWearer < 0 || ck.NextWearer > meta.Wearers || ck.Blocks < 0 {
+	if ck.CRC != ck.sum() {
+		return ck, fmt.Errorf("%w: checkpoint CRC mismatch", ErrCorrupt)
+	}
+	if ck.NextWearer < 0 || ck.NextWearer > meta.Wearers || ck.Blocks < 0 || ck.Offset < 0 {
 		return ck, fmt.Errorf("%w: implausible checkpoint %+v", ErrCorrupt, ck)
+	}
+	// Committed blocks hold between 1 and BlockSize records each, so the
+	// record and block counts bound each other; a sidecar outside that
+	// envelope is corrupt regardless of its seed check.
+	bs := meta.BlockSize
+	if bs <= 0 {
+		bs = DefaultBlockSize
+	}
+	if ck.NextWearer < ck.Blocks || int64(ck.NextWearer) > int64(ck.Blocks)*int64(bs) {
+		return ck, fmt.Errorf("%w: checkpoint blocks/records mismatch %+v", ErrCorrupt, ck)
 	}
 	if want := desim.DeriveSeed(meta.FleetSeed, 2*uint64(ck.NextWearer)); ck.SeedCheck != want {
 		return ck, fmt.Errorf("%w: checkpoint seed check %d != derived %d (checkpoint from a different run?)",

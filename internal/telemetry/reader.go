@@ -73,7 +73,7 @@ func Open(path string) (*Reader, error) {
 		return nil, fmt.Errorf("telemetry: open: %w", err)
 	}
 	r := &Reader{f: f, meta: meta, pos: hdrLen, limit: st.Size(), size: st.Size()}
-	if ckErr == nil && ck.Offset >= hdrLen && ck.Offset <= st.Size() {
+	if ckErr == nil && ck.consistentWith(hdrLen, st.Size()) {
 		r.limit = ck.Offset
 		r.ckValid = true
 	}

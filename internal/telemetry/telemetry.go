@@ -21,7 +21,9 @@
 //	    varint) and hubUtilization (XOR-prev varint of float bits);
 //	    format v1 appends two more per-record integer columns, cell and
 //	    foreignLoadPPM (zigzag-delta varint), for spectrum-coupled
-//	    sweeps — the meta's version field selects the layout
+//	    sweeps, and format v2 another two, eqForeignLoadPPM and
+//	    feedbackIters, for feedback-coupled sweeps — the meta's version
+//	    field selects the layout
 //	flattened per-node columns: packetsGenerated, packetsDelivered,
 //	    packetsDropped, transmissions, bitsDelivered (zigzag-delta
 //	    varint); projectedLife, latencyP50, latencyP99 (XOR-prev varint);
@@ -40,7 +42,10 @@
 // scenario-stream seed of the next wearer under the fleet layer's pinned
 // stream-ID mapping — so a checkpoint pasted next to the wrong data file
 // (or a tampered fleet seed) is rejected instead of silently resuming a
-// different population.
+// different population — plus a self-CRC over all of its fields, so a
+// corrupted sidecar (a flipped offset bit the seed check cannot see)
+// falls back to the CRC block scan instead of truncating the store at a
+// garbage offset.
 //
 // A killed process loses at most the tail records buffered for the
 // not-yet-committed block: Resume truncates the data file back to the
@@ -73,8 +78,13 @@ const (
 	// (PPM) it saw. Uncoupled sweeps store cell −1 / load 0, which the
 	// delta codec compresses to ~2 bytes per record.
 	FormatV1 = 1
+	// FormatV2 adds two more per-record columns for feedback-coupled
+	// sweeps: the equilibrium (collision-retry-inflated) foreign load in
+	// PPM and the cell's fixed-point round count. First-order sweeps
+	// store zeros, which again cost ~2 bytes per record.
+	FormatV2 = 2
 	// CurrentFormat is what new stores are written as.
-	CurrentFormat = FormatV1
+	CurrentFormat = FormatV2
 )
 
 // ErrCorrupt reports a store whose framing, CRC or column payload does
@@ -107,6 +117,10 @@ type Meta struct {
 	// cell and interference columns are part of the replayed state, and
 	// dropping them would break resume fingerprints.
 	Cells int `json:"cells,omitempty"`
+	// Feedback records that the sweep closed the collision→retry→
+	// offered-load loop (fleet.Coupling.Feedback). Feedback sweeps need
+	// FormatV2: the equilibrium columns are replayed state too.
+	Feedback bool `json:"feedback,omitempty"`
 }
 
 func (m *Meta) validate() error {
@@ -128,6 +142,12 @@ func (m *Meta) validate() error {
 	if m.Cells > 0 && m.Version < FormatV1 {
 		return fmt.Errorf("telemetry: coupled sweep (%d cells) needs format v%d, store is v%d",
 			m.Cells, FormatV1, m.Version)
+	}
+	if m.Feedback && m.Cells == 0 {
+		return fmt.Errorf("telemetry: feedback sweep without cells")
+	}
+	if m.Feedback && m.Version < FormatV2 {
+		return fmt.Errorf("telemetry: feedback sweep needs format v%d, store is v%d", FormatV2, m.Version)
 	}
 	return nil
 }
@@ -168,11 +188,19 @@ type Record struct {
 	// sweep was uncoupled (and in every record decoded from a FormatV0
 	// store).
 	Cell int
-	// ForeignLoadPPM is the co-channel offered load (airtime
+	// ForeignLoadPPM is the first-order co-channel offered load (airtime
 	// parts-per-million, see internal/spectrum) this wearer saw from the
 	// rest of its cell; 0 when uncoupled.
 	ForeignLoadPPM int64
-	Nodes          []NodeRecord
+	// EqForeignLoadPPM is the equilibrium foreign load — the first-order
+	// load inflated by collision-driven retransmissions at the cell's
+	// fixed point; 0 unless the sweep closed the feedback loop (and in
+	// every record decoded from a pre-FormatV2 store).
+	EqForeignLoadPPM int64
+	// FeedbackIters is the wearer's cell's fixed-point round count; 0
+	// unless the sweep closed the feedback loop.
+	FeedbackIters int
+	Nodes         []NodeRecord
 }
 
 // RawSize is the flat fixed-width encoding size of the record in bytes

@@ -1,13 +1,17 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
+
+	"wiban/internal/desim"
 )
 
 // testRecord builds a deterministic, mildly adversarial record for wearer
@@ -15,12 +19,14 @@ import (
 // columns, repeated and NaN-free float columns.
 func testRecord(w int) Record {
 	rec := Record{
-		Wearer:         w,
-		Events:         uint64(1000 + 7*w),
-		HubRxBits:      int64(1e6) - int64(w)*13,
-		HubUtilization: 0.25 + float64(w%4)*0.125,
-		Cell:           w % 5,
-		ForeignLoadPPM: int64(40_000 * (w % 3)),
+		Wearer:           w,
+		Events:           uint64(1000 + 7*w),
+		HubRxBits:        int64(1e6) - int64(w)*13,
+		HubUtilization:   0.25 + float64(w%4)*0.125,
+		Cell:             w % 5,
+		ForeignLoadPPM:   int64(40_000 * (w % 3)),
+		EqForeignLoadPPM: int64(40_000*(w%3)) + int64(9_000*(w%4)),
+		FeedbackIters:    w % 6,
 	}
 	for j := 0; j < w%4; j++ {
 		rec.Nodes = append(rec.Nodes, NodeRecord{
@@ -41,7 +47,7 @@ func testRecord(w int) Record {
 
 func testMeta(wearers, blockSize int) Meta {
 	return Meta{FleetSeed: 42, Wearers: wearers, SpanSeconds: 30, Scenario: "test-gen v1",
-		BlockSize: blockSize, Version: CurrentFormat, Cells: 5}
+		BlockSize: blockSize, Version: CurrentFormat, Cells: 5, Feedback: true}
 }
 
 // writeStore writes records [0, n) and returns the store path.
@@ -231,6 +237,128 @@ func TestCheckpointSeedCheck(t *testing.T) {
 	}
 }
 
+// TestCheckpointRejectionTable drives readCheckpoint through the
+// corruption matrix: every implausible or mistied sidecar must be
+// rejected with ErrCorrupt — the seed check catching any next_wearer
+// that was not stamped by this run — and Resume must then fall back to
+// the CRC scan and recover the full committed prefix.
+func TestCheckpointRejectionTable(t *testing.T) {
+	const n, blockSize = 24, 8
+	path := writeStore(t, n, blockSize)
+	meta := testMeta(n, blockSize)
+	good, err := os.ReadFile(CheckpointPath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ckJSON renders a sidecar with a *valid* self-CRC, so each row
+	// exercises the specific plausibility guard it names rather than
+	// tripping the CRC first.
+	ckJSON := func(offset int64, blocks, next int, seedCheck int64) string {
+		ck := checkpoint{Offset: offset, Blocks: blocks, NextWearer: next, SeedCheck: seedCheck}
+		ck.CRC = ck.sum()
+		blob, err := json.Marshal(ck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(blob)
+	}
+	badCRC := checkpoint{Offset: 200, Blocks: 2, NextWearer: 16,
+		SeedCheck: desim.DeriveSeed(meta.FleetSeed, 32)}
+	badCRC.CRC = badCRC.sum() + 1
+	badCRCBlob, err := json.Marshal(badCRC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := func(next int) int64 { return desim.DeriveSeed(meta.FleetSeed, 2*uint64(next)) }
+	for name, sidecar := range map[string]string{
+		"empty":                    "",
+		"not JSON":                 "WBTL nonsense",
+		"truncated JSON":           string(good[:len(good)/2]),
+		"missing CRC":              fmt.Sprintf(`{"offset":200,"blocks":2,"next_wearer":16,"seed_check":%d}`, seed(16)),
+		"flipped CRC":              string(badCRCBlob),
+		"seed check mismatch":      ckJSON(200, 2, 16, seed(16)+1),
+		"seed from another fleet":  ckJSON(200, 2, 16, desim.DeriveSeed(meta.FleetSeed+1, 32)),
+		"next_wearer re-stamped":   ckJSON(200, 2, 8, seed(16)),
+		"next_wearer negative":     ckJSON(200, 2, -1, seed(0)),
+		"next_wearer past sweep":   ckJSON(200, 4, n+8, seed(n+8)),
+		"negative offset":          ckJSON(-3, 2, 16, seed(16)),
+		"negative blocks":          ckJSON(200, -1, 0, seed(0)),
+		"more blocks than records": ckJSON(200, 9, 8, seed(8)),
+		"more records than fit":    ckJSON(200, 1, 16, seed(16)),
+	} {
+		t.Run(name, func(t *testing.T) {
+			if err := os.WriteFile(CheckpointPath(path), []byte(sidecar), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := readCheckpoint(path, meta); err == nil {
+				t.Fatalf("sidecar %q accepted", sidecar)
+			} else if len(sidecar) > 0 && sidecar[0] == '{' && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("parsed-but-invalid sidecar: error %v, want ErrCorrupt", err)
+			}
+			// The fallback scan recovers everything the file holds.
+			w, err := Resume(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w.Abort()
+			if w.NextWearer() != n {
+				t.Fatalf("scan fallback landed at %d, want %d", w.NextWearer(), n)
+			}
+		})
+	}
+}
+
+// TestCheckpointOffsetBlockMismatch covers the consistency guard that
+// lives above readCheckpoint (it needs the header length): a sidecar
+// claiming committed blocks at the header offset — or an empty prefix
+// past it — is ignored by both the reader and the resume path.
+func TestCheckpointOffsetBlockMismatch(t *testing.T) {
+	const n, blockSize = 24, 8
+	path := writeStore(t, n, blockSize)
+	meta := testMeta(n, blockSize)
+	hdr, err := encodeHeader(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, ck := range map[string]checkpoint{
+		"blocks at header offset": {Offset: int64(len(hdr)), Blocks: 2, NextWearer: 16,
+			SeedCheck: desim.DeriveSeed(meta.FleetSeed, 32)},
+		"empty prefix past header": {Offset: int64(len(hdr)) + 3, Blocks: 0, NextWearer: 0,
+			SeedCheck: desim.DeriveSeed(meta.FleetSeed, 0)},
+	} {
+		t.Run(name, func(t *testing.T) {
+			ck.CRC = ck.sum() // a valid self-CRC, so only the offset guard can reject
+			blob, err := json.Marshal(ck)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(CheckpointPath(path), blob, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			r, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs := drain(t, r)
+			if r.Checkpointed() {
+				t.Error("reader trusted an offset/blocks-inconsistent sidecar")
+			}
+			r.Close()
+			if len(recs) != n {
+				t.Fatalf("scan read %d records, want %d", len(recs), n)
+			}
+			w, err := Resume(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w.Abort()
+			if w.NextWearer() != n {
+				t.Fatalf("resume landed at %d, want %d via scan", w.NextWearer(), n)
+			}
+		})
+	}
+}
+
 // TestWriterRejectsDisorder covers the ordering and population guards.
 func TestWriterRejectsDisorder(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.wtl")
@@ -296,12 +424,14 @@ func TestCreateValidatesMeta(t *testing.T) {
 	}
 }
 
-// legacyRecord strips the v1-only fields from a test record, the shape a
-// FormatV0 store can carry.
+// legacyRecord strips the v1- and v2-only fields from a test record, the
+// shape a FormatV0 store can carry.
 func legacyRecord(w int) Record {
 	rec := testRecord(w)
 	rec.Cell = -1
 	rec.ForeignLoadPPM = 0
+	rec.EqForeignLoadPPM = 0
+	rec.FeedbackIters = 0
 	return rec
 }
 
@@ -344,14 +474,92 @@ func TestLegacyV0RoundTrip(t *testing.T) {
 	}
 }
 
+// v1Record strips the v2-only fields from a test record, the shape a
+// FormatV1 store can carry.
+func v1Record(w int) Record {
+	rec := testRecord(w)
+	rec.EqForeignLoadPPM = 0
+	rec.FeedbackIters = 0
+	return rec
+}
+
+// TestLegacyV1RoundTrip pins pre-feedback compatibility: a coupled v1
+// store (what PR 3 binaries wrote) must read back exactly, with zero
+// equilibrium fields on every record.
+func TestLegacyV1RoundTrip(t *testing.T) {
+	const n, blockSize = 19, 8
+	meta := Meta{FleetSeed: 42, Wearers: n, SpanSeconds: 30, BlockSize: blockSize,
+		Version: FormatV1, Cells: 5}
+	path := filepath.Join(t.TempDir(), "v1.wtl")
+	w, err := Create(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Consume(v1Record(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.Meta(); got.Version != FormatV1 || got.Feedback {
+		t.Fatalf("v1 store decoded as %+v", got)
+	}
+	recs := drain(t, r)
+	if len(recs) != n {
+		t.Fatalf("read %d records, wrote %d", len(recs), n)
+	}
+	for i := range recs {
+		want := v1Record(i)
+		if recs[i].Cell != want.Cell || recs[i].ForeignLoadPPM != want.ForeignLoadPPM {
+			t.Fatalf("record %d: v1 columns did not round-trip: %+v", i, recs[i])
+		}
+		if recs[i].EqForeignLoadPPM != 0 || recs[i].FeedbackIters != 0 {
+			t.Fatalf("record %d: v1 store produced equilibrium data %+v", i, recs[i])
+		}
+	}
+}
+
 // TestFormatVersionGuards covers the version/cells validation matrix:
-// coupled sweeps need v1, unknown versions are refused at create and
-// open, and a v0 writer refuses records that carry a cell.
+// coupled sweeps need v1, feedback sweeps v2, unknown versions are
+// refused at create and open, and older-format writers refuse records
+// carrying columns they cannot store.
 func TestFormatVersionGuards(t *testing.T) {
 	dir := t.TempDir()
 	if _, err := Create(filepath.Join(dir, "a.wtl"),
 		Meta{Wearers: 10, SpanSeconds: 1, Cells: 4}); err == nil {
 		t.Error("Create accepted a coupled sweep in format v0")
+	}
+	if _, err := Create(filepath.Join(dir, "fb1.wtl"),
+		Meta{Wearers: 10, SpanSeconds: 1, Cells: 4, Version: FormatV1, Feedback: true}); err == nil {
+		t.Error("Create accepted a feedback sweep in format v1")
+	}
+	if _, err := Create(filepath.Join(dir, "fb2.wtl"),
+		Meta{Wearers: 10, SpanSeconds: 1, Version: FormatV2, Feedback: true}); err == nil {
+		t.Error("Create accepted a feedback sweep without cells")
+	}
+
+	// A v1 writer must refuse equilibrium-carrying records instead of
+	// dropping the columns (which would silently break replay).
+	pv1 := filepath.Join(dir, "v1w.wtl")
+	wv1, err := Create(pv1, Meta{Wearers: 10, SpanSeconds: 1, Cells: 5, Version: FormatV1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wv1.Abort()
+	eqRec := v1Record(0)
+	eqRec.EqForeignLoadPPM = 55_000
+	if err := wv1.Consume(eqRec); err == nil {
+		t.Error("v1 writer accepted a record with equilibrium data")
+	}
+	if err := wv1.Consume(v1Record(0)); err != nil {
+		t.Errorf("v1 writer refused a v1-shaped record: %v", err)
 	}
 	if _, err := Create(filepath.Join(dir, "b.wtl"),
 		Meta{Wearers: 10, SpanSeconds: 1, Version: CurrentFormat + 1}); err == nil {

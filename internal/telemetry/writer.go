@@ -104,7 +104,7 @@ func resume(f *os.File, path string) (*Writer, error) {
 	w := &Writer{f: f, path: path, meta: meta}
 	ck, ckErr := readCheckpoint(path, meta)
 	switch {
-	case ckErr == nil && ck.Offset >= hdrLen && ck.Offset <= size:
+	case ckErr == nil && ck.consistentWith(hdrLen, size):
 		w.offset, w.blocks, w.next = ck.Offset, ck.Blocks, ck.NextWearer
 	default:
 		// No (or implausible) checkpoint: rebuild one from the longest
@@ -158,6 +158,12 @@ func (w *Writer) Consume(rec Record) error {
 		// state, and losing it would break resume fingerprints.
 		return fmt.Errorf("telemetry: record carries cell %d but store format v%d has no cell column",
 			rec.Cell, w.meta.Version)
+	}
+	if (rec.EqForeignLoadPPM != 0 || rec.FeedbackIters != 0) && w.meta.Version < FormatV2 {
+		// Same refusal for the equilibrium columns: silently dropping
+		// them would make a feedback sweep's store replay differently.
+		return fmt.Errorf("telemetry: record carries equilibrium data but store format v%d has no feedback columns",
+			w.meta.Version)
 	}
 	start := len(w.nodes)
 	w.nodes = append(w.nodes, rec.Nodes...)
