@@ -14,6 +14,7 @@
 //	iobfleet -wearers 1000 -density 40 -ble-frac 1   # same, by target wearers-per-cell
 //	iobfleet -wearers 1000 -density 40 -feedback     # equilibrium interference (retry feedback)
 //	iobfleet -density 40 -feedback -max-iters 16 -tol 10  # coarser fixed point
+//	iobfleet -cpuprofile cpu.pb.gz -memprofile mem.pb.gz  # pprof the sweep
 //
 // The aggregate report is a pure function of -seed: reruns with any
 // -workers value print identical statistics (only the throughput line
@@ -60,6 +61,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"wiban/internal/fleet"
 	"wiban/internal/spectrum"
@@ -123,6 +126,9 @@ func main() {
 		resume    = flag.Bool("resume", false, "resume the interrupted sweep checkpointed in -out")
 		force     = flag.Bool("force", false, "allow -out to overwrite an existing telemetry store")
 		blockSize = flag.Int("block-size", 0, "telemetry records per committed block (0 = default)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this path")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile (post-sweep, after GC) to this path")
 	)
 	flag.Parse()
 	fail := func(code int, format string, args ...any) {
@@ -146,8 +152,11 @@ func main() {
 		Wearers:  *wearers,
 		Seed:     *seed,
 		Scenario: gen.Scenario(),
-		Span:     units.Duration(*durSec),
-		Workers:  *workers,
+		// The coupled engine's phase 1 uses the generator's allocation-free
+		// load pass instead of regenerating every scenario (no-op uncoupled).
+		Loads:   gen.LoadScenario(),
+		Span:    units.Duration(*durSec),
+		Workers: *workers,
 	}
 	scenarioTag := gen.Tag()
 	if *density != 0 {
@@ -243,12 +252,48 @@ func main() {
 		sink = fleet.Tee(store, agg)
 	}
 
+	// Profiling brackets exactly the sweep (flag parsing, store setup and
+	// report rendering stay outside the CPU window), so future perf PRs
+	// can run `iobfleet -cpuprofile cpu.pb.gz` instead of hand-rolling a
+	// harness around the engine.
+	if *cpuProfile != "" {
+		pf, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(1, "%v", err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fail(1, "cpu profile: %v", err)
+		}
+		defer pf.Close()
+	}
+	// The heap-profile file is opened before the sweep too: a typo'd path
+	// must fail in milliseconds, not after an hours-long run whose final
+	// uncommitted block it would then discard.
+	var memFile *os.File
+	if *memProfile != "" {
+		var err error
+		if memFile, err = os.Create(*memProfile); err != nil {
+			fail(1, "%v", err)
+		}
+	}
 	perf, err := f.Stream(sink)
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
 	if err != nil {
 		if store != nil {
 			store.Abort() // keep the checkpoint where the sweep died
 		}
 		fail(1, "%v", err)
+	}
+	if memFile != nil {
+		runtime.GC() // settle the heap so the profile shows retention, not garbage
+		if perr := pprof.WriteHeapProfile(memFile); perr != nil {
+			fail(1, "heap profile: %v", perr)
+		}
+		if perr := memFile.Close(); perr != nil {
+			fail(1, "heap profile: %v", perr)
+		}
 	}
 	if store != nil {
 		if err := store.Close(); err != nil {

@@ -494,3 +494,40 @@ func TestDensityFlagDerivation(t *testing.T) {
 		}
 	}
 }
+
+// TestProfileFlags pins the real process behavior of -cpuprofile and
+// -memprofile: a sweep run with both exits zero and leaves non-empty
+// pprof files behind, and an unwritable profile path fails loudly
+// instead of silently profiling nowhere.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pb.gz")
+	mem := filepath.Join(dir, "mem.pb.gz")
+	code, out := runMain(t,
+		"-wearers", "16", "-dur", "2", "-workers", "2",
+		"-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("profiled sweep exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "fingerprint") {
+		t.Errorf("no fingerprint line in output:\n%s", out)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+	// Both profile paths must fail fast — before the sweep runs — so a
+	// typo'd flag never costs a long simulation its uncommitted tail.
+	for _, flag := range []string{"-cpuprofile", "-memprofile"} {
+		code, _ = runMain(t, "-wearers", "4", "-dur", "1",
+			flag, filepath.Join(dir, "no", "such", "dir", "prof.out"))
+		if code == 0 {
+			t.Fatalf("unwritable %s path exited 0", flag)
+		}
+	}
+}

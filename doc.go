@@ -13,8 +13,14 @@
 //     energy models);
 //   - internal/nn, internal/partition — wearable DNNs and the split-
 //     computing optimizer;
-//   - internal/bannet — the discrete-event network simulator (a reusable
-//     bannet.Sim per scenario; bannet.Run for one-shot runs);
+//   - internal/bannet — the discrete-event network simulator. A
+//     bannet.Sim is a reusable kernel arena: NewSim builds it, Reset
+//     rebinds it to a different scenario and RunInto replays into a
+//     caller-owned report, all recycling the packet rings, node states,
+//     TDMA slot table and the desim event arena — a warmed
+//     Reset–RunInto cycle is allocation-free (bannet.Run remains the
+//     one-shot convenience). The fleet engine gives each worker one
+//     long-lived Sim, which is where its wearers-per-second comes from;
 //   - internal/fleet — the population-scale engine: N wearer simulations
 //     across a worker pool (cmd/iobfleet drives it), with a scenario
 //     generator that spreads channel loss, batteries, harvesters and
@@ -30,7 +36,12 @@
 //     the reduction additionally solves each cell's damped fixed point
 //     of the collision→retry→offered-load loop, so kernels see the
 //     equilibrium congestion a dense venue settles at (iobfleet
-//     -feedback, knobs -max-iters/-tol);
+//     -feedback, knobs -max-iters/-tol). The per-wearer hot path is
+//     allocation-free in steady state: workers reuse a scratch RNG, a
+//     kernel arena and pooled report buffers, sinks receive records on
+//     a borrow-until-return contract, and phase 1 runs the Generator's
+//     load pass instead of regenerating scenarios (profile a sweep
+//     with iobfleet -cpuprofile/-memprofile);
 //   - internal/spectrum — cross-wearer co-channel interference: wearers
 //     hash into spatial cells, each cell sums its members' offered RF
 //     airtime in exact integer PPM, and a CSMA/ALOHA collision curve

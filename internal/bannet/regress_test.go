@@ -170,3 +170,46 @@ func TestPacketQueue(t *testing.T) {
 		t.Fatal("reset left elements")
 	}
 }
+
+// TestSimArenaSteadyStateZeroAlloc pins the zero-allocation kernel
+// contract: once a Sim's arena has warmed to a configuration family's
+// high-water shape, a Reset–RunInto cycle — the fleet engine's per-wearer
+// hot path — performs no heap allocation. A regression here means some
+// per-wearer churn crept back into the kernel (event arena, node states,
+// schedule, report buffers) and the fleet throughput numbers in
+// BENCH_fleet.json no longer hold.
+func TestSimArenaSteadyStateZeroAlloc(t *testing.T) {
+	big := regressConfig()
+	small := regressConfig()
+	small.Nodes = small.Nodes[:1]
+	sim, err := NewSim(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	seed := int64(0)
+	cycle := func() {
+		// Alternate shapes so the arena's resize path is exercised, and
+		// vary the seed the way the fleet engine does.
+		cfg := big
+		if seed%2 == 0 {
+			cfg = small
+		}
+		cfg.Seed = seed
+		seed++
+		if err := sim.Reset(cfg); err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.RunInto(10*units.Second, &rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the arena: queues, latency buffers and the event freelist grow
+	// to their steady-state capacity within a few runs.
+	for i := 0; i < 4; i++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(10, cycle); avg != 0 {
+		t.Errorf("steady-state Reset+RunInto allocates %.1f times per cycle, want 0", avg)
+	}
+}

@@ -2,7 +2,7 @@ package bannet
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"wiban/internal/desim"
 	"wiban/internal/energy"
@@ -54,7 +54,11 @@ func (q *packetQueue) grow() {
 
 func (q *packetQueue) reset() { q.head, q.n = 0, 0 }
 
-// nodeState is the runtime state of one node.
+// nodeState is the runtime state of one node. States live in the Sim's
+// arena: init rebinds one to a (possibly different) node configuration
+// while keeping every grown buffer — packet ring, latency slices,
+// battery state — so a Sim recycled across scenarios stops allocating
+// once the arena has warmed to the population's high-water shape.
 type nodeState struct {
 	cfg       NodeConfig
 	effPER    float64 // 1−(1−PER)·(1−CollisionPER), drawn per attempt
@@ -71,6 +75,25 @@ type nodeState struct {
 	battState *energy.State
 	dead      bool
 	diedAt    desim.Time
+}
+
+// init rebinds the state to a node configuration and resets it. Every
+// configuration-derived field is overwritten; only buffer capacity
+// survives from the previous occupant.
+func (st *nodeState) init(nc NodeConfig, out units.DataRate) {
+	st.cfg = nc
+	st.effPER = 1 - (1-nc.PER)*(1-nc.CollisionPER)
+	st.outRate = out
+	if nc.DrainBattery {
+		if st.battState == nil {
+			st.battState = energy.NewState(nc.Battery)
+		} else {
+			st.battState.Reinit(nc.Battery)
+		}
+	} else {
+		st.battState = nil
+	}
+	st.reset()
 }
 
 // reset returns the node to its pre-run state, keeping allocated buffers.
@@ -136,117 +159,286 @@ func (h *hubServer) enqueue(now, start desim.Time, macs int64) desim.Time {
 	return done
 }
 
-// Sim is a reusable simulation instance: configuration validation, TDMA
-// schedule construction and node-state allocation happen once in NewSim,
-// and each Run replays the scenario from a clean state. A fleet engine
-// that sweeps seeds or spans over the same scenario, and any benchmark
-// that runs the same network repeatedly, reuses the queues and latency
-// buffers instead of reallocating them per run.
+// defaultTDMA and defaultHub are the shared read-only defaults for
+// configs that leave TDMA or HubCompute nil, so a recycled Sim does not
+// rebuild them per Reset.
+var (
+	defaultTDMA = mac.DefaultTDMA()
+	defaultHub  = partition.HubSoC()
+)
+
+// Sim is a reusable simulation kernel arena. NewSim validates the
+// configuration, builds the TDMA schedule and allocates runtime state;
+// each Run replays the scenario from a clean state, reusing the packet
+// rings, latency buffers and the discrete-event kernel's event arena.
+// Reset rebinds the same arena to a different configuration — node
+// states, demand slices, the schedule's slot table and the event queue
+// are all recycled — so a fleet worker that sweeps many scenarios on one
+// Sim is allocation-free once the arena has warmed to the population's
+// high-water node count.
 //
 // A Sim is not safe for concurrent use; run one Sim per goroutine.
+// Reports produced by Run borrow the Sim's schedule: they stay valid
+// until the next Reset.
 type Sim struct {
-	cfg      Config
+	seed     int64
 	tdma     *mac.TDMA
-	schedule *mac.Schedule
+	schedule mac.Schedule
+	demands  []mac.Demand
 	hub      hubServer
-	states   []*nodeState
+	states   []nodeState
+	kern     *desim.Simulator
+
+	// superframe is the cached event-time form of the TDMA period.
+	superframe desim.Time
+
+	// rep is the report under construction during a run; the cached tick
+	// closures below reach it (and the states) through the Sim receiver,
+	// so scheduling a run allocates no per-run closures.
+	rep     *Report
+	genFns  []func()
+	harvFns []func()
+	frameFn func()
 }
 
 // NewSim validates the configuration, builds the TDMA schedule and
 // allocates runtime state. The returned Sim can be Run any number of
 // times; each run is independent and deterministic in cfg.Seed.
 func NewSim(cfg Config) (*Sim, error) {
+	s := &Sim{kern: desim.New(0)}
+	if err := s.Reset(cfg); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Reset rebinds the Sim to a new configuration, revalidating it and
+// rebuilding the TDMA schedule while recycling every arena buffer. It is
+// equivalent to NewSim except that nothing is reallocated once the arena
+// has seen an equal-or-larger configuration. On error the Sim must be
+// Reset successfully before it is run again.
+func (s *Sim) Reset(cfg Config) error {
 	if len(cfg.Nodes) == 0 {
-		return nil, fmt.Errorf("bannet: no nodes")
+		return fmt.Errorf("bannet: no nodes")
 	}
 	tdma := cfg.TDMA
 	if tdma == nil {
-		tdma = mac.DefaultTDMA()
+		tdma = defaultTDMA
 	}
 
-	// Build node states and TDMA demands.
-	states := make([]*nodeState, 0, len(cfg.Nodes))
-	demands := make([]mac.Demand, 0, len(cfg.Nodes))
+	// Validate every node before touching the arena, in the order NewSim
+	// always has (the first offending node wins).
 	for _, nc := range cfg.Nodes {
 		if nc.Sensor == nil || nc.Policy == nil || nc.Radio == nil || nc.Battery == nil {
-			return nil, fmt.Errorf("bannet: node %q incompletely specified", nc.Name)
+			return fmt.Errorf("bannet: node %q incompletely specified", nc.Name)
 		}
 		if nc.PacketBits <= 0 {
-			return nil, fmt.Errorf("bannet: node %q has no packet size", nc.Name)
+			return fmt.Errorf("bannet: node %q has no packet size", nc.Name)
 		}
 		if nc.PER < 0 || nc.PER >= 1 {
-			return nil, fmt.Errorf("bannet: node %q PER %v outside [0,1)", nc.Name, nc.PER)
+			return fmt.Errorf("bannet: node %q PER %v outside [0,1)", nc.Name, nc.PER)
 		}
 		if nc.CollisionPER < 0 || nc.CollisionPER >= 1 {
-			return nil, fmt.Errorf("bannet: node %q collision PER %v outside [0,1)", nc.Name, nc.CollisionPER)
+			return fmt.Errorf("bannet: node %q collision PER %v outside [0,1)", nc.Name, nc.CollisionPER)
 		}
 		if nc.Inference != nil && (nc.Inference.MACs <= 0 || nc.Inference.InputBits <= 0) {
-			return nil, fmt.Errorf("bannet: node %q has a degenerate inference spec", nc.Name)
+			return fmt.Errorf("bannet: node %q has a degenerate inference spec", nc.Name)
 		}
 		out := nc.Policy.OutputRate(nc.Sensor.DataRate())
 		if out > nc.Radio.Goodput {
-			return nil, fmt.Errorf("bannet: node %q rate %v exceeds radio goodput %v",
+			return fmt.Errorf("bannet: node %q rate %v exceeds radio goodput %v",
 				nc.Name, out, nc.Radio.Goodput)
 		}
-		st := &nodeState{cfg: nc, outRate: out}
-		st.effPER = 1 - (1-nc.PER)*(1-nc.CollisionPER)
-		st.stats.Name = nc.Name
-		if nc.DrainBattery {
-			st.battState = energy.NewState(nc.Battery)
-		}
-		states = append(states, st)
+	}
+
+	// Rebind node states and TDMA demands into the reused buffers.
+	if n := len(cfg.Nodes); n <= cap(s.states) {
+		s.states = s.states[:n]
+	} else {
+		s.states = append(s.states[:cap(s.states)], make([]nodeState, n-cap(s.states))...)
+	}
+	s.demands = s.demands[:0]
+	for i, nc := range cfg.Nodes {
+		out := nc.Policy.OutputRate(nc.Sensor.DataRate())
+		s.states[i].init(nc, out)
 		// Slot sizing includes retransmission headroom: a link with packet
 		// error rate p needs ≈ 1/(1−p) attempts per delivered packet, plus
 		// 20% margin against burstiness. Deliberately sized from the link
 		// PER alone, not CollisionPER: the TDMA scheduler can provision for
 		// its own channel but not for other wearers' interference.
 		demand := units.DataRate(float64(out) / (1 - nc.PER) * 1.2)
-		demands = append(demands, mac.Demand{NodeID: nc.ID, Rate: demand, PacketBits: nc.PacketBits})
+		s.demands = append(s.demands, mac.Demand{NodeID: nc.ID, Rate: demand, PacketBits: nc.PacketBits})
 	}
-	schedule, err := tdma.Build(demands)
-	if err != nil {
-		return nil, err
+	if err := tdma.BuildInto(s.demands, &s.schedule); err != nil {
+		return err
 	}
+	s.tdma = tdma
+	s.superframe = desim.FromSeconds(float64(tdma.Superframe))
+	s.seed = cfg.Seed
 
 	hubPlatform := cfg.HubCompute
 	if hubPlatform == nil {
-		hubPlatform = partition.HubSoC()
+		hubPlatform = defaultHub
 	}
-	return &Sim{
-		cfg:      cfg,
-		tdma:     tdma,
-		schedule: schedule,
-		hub:      hubServer{platform: hubPlatform},
-		states:   states,
-	}, nil
+	s.hub = hubServer{platform: hubPlatform}
+	return nil
 }
 
-// Schedule returns the TDMA schedule built for the configuration.
-func (s *Sim) Schedule() *mac.Schedule { return s.schedule }
+// Schedule returns the TDMA schedule built for the configuration. The
+// returned pointer aliases the Sim's arena: its contents change on the
+// next Reset.
+func (s *Sim) Schedule() *mac.Schedule { return &s.schedule }
 
 // SetSeed changes the seed subsequent Runs replay from.
-func (s *Sim) SetSeed(seed int64) { s.cfg.Seed = seed }
+func (s *Sim) SetSeed(seed int64) { s.seed = seed }
+
+// genFn returns the cached packet-generation tick for node i.
+func (s *Sim) genFn(i int) func() {
+	for len(s.genFns) <= i {
+		j := len(s.genFns)
+		s.genFns = append(s.genFns, func() { s.genTick(j) })
+	}
+	return s.genFns[i]
+}
+
+// genTick queues one packet at node i's output rate.
+func (s *Sim) genTick(i int) {
+	st := &s.states[i]
+	if st.dead {
+		return
+	}
+	st.queue.push(packet{created: s.kern.Now()})
+	st.stats.PacketsGenerated++
+}
+
+// harvFn returns the cached harvest-sampling tick for node i.
+func (s *Sim) harvFn(i int) func() {
+	for len(s.harvFns) <= i {
+		j := len(s.harvFns)
+		s.harvFns = append(s.harvFns, func() { s.harvTick(j) })
+	}
+	return s.harvFns[i]
+}
+
+// harvTick samples node i's harvester over one simulated second.
+func (s *Sim) harvTick(i int) {
+	st := &s.states[i]
+	e := st.cfg.Harvester.Sample(s.kern.Rand()).Times(units.Second)
+	st.stats.Harvested += e
+	if st.battState != nil && !st.dead {
+		st.battState.Recharge(e)
+	}
+}
+
+// frameTick is the superframe body: at each node's slot, drain up to the
+// slot capacity with PER-driven retries.
+func (s *Sim) frameTick() {
+	kern, report := s.kern, s.rep
+	beaconTime := float64(s.schedule.BeaconTime)
+	for i := range s.states {
+		st := &s.states[i]
+		if st.dead {
+			continue
+		}
+		// Continuous drain (sensing + ISA + sleep floor) plus the
+		// beacon cost debits the battery in DrainBattery mode.
+		syncE := st.cfg.Radio.ActiveRX.Times(units.Duration(beaconTime)) +
+			st.cfg.Radio.WakeEnergy
+		cont := st.continuousPower().Times(units.Duration(s.superframe.Seconds()))
+		if !st.drain(cont+syncE, kern.Now()) {
+			continue
+		}
+		// Beacon listen: every node wakes and receives the beacon.
+		st.stats.SyncEnergy += syncE
+		slot := s.schedule.SlotFor(st.cfg.ID)
+		if slot == nil {
+			continue
+		}
+		budget := slot.CapacityBits
+		for st.queue.len() > 0 && budget >= int64(st.cfg.PacketBits) {
+			p := st.queue.pop()
+			budget -= int64(st.cfg.PacketBits)
+			air := st.cfg.Radio.TimeOnAir(st.cfg.PacketBits)
+			txE := st.cfg.Radio.ActiveTX.Times(air)
+			if !st.drain(txE, kern.Now()) {
+				break
+			}
+			st.stats.TxEnergy += txE
+			st.airTime += air
+			st.stats.Transmissions++
+			if kern.Rand().Float64() >= st.effPER {
+				// Delivered.
+				lat := units.Duration((kern.Now() - p.created).Seconds())
+				st.latencies = append(st.latencies, lat)
+				st.stats.PacketsDelivered++
+				st.stats.BitsDelivered += int64(st.cfg.PacketBits)
+				report.HubRxBits += int64(st.cfg.PacketBits)
+				report.HubRxEnergy += st.cfg.Radio.ActiveRX.Times(air)
+				// Assemble inference input windows and dispatch to
+				// the hub NPU queue.
+				if spec := st.cfg.Inference; spec != nil {
+					if st.windowBits == 0 {
+						st.windowStart = p.created
+					}
+					st.windowBits += int64(st.cfg.PacketBits)
+					for st.windowBits >= spec.InputBits {
+						st.windowBits -= spec.InputBits
+						done := s.hub.enqueue(kern.Now(), st.windowStart, spec.MACs)
+						e2e := units.Duration((done - st.windowStart).Seconds())
+						st.infLat = append(st.infLat, e2e)
+						st.stats.Inferences++
+						st.windowStart = kern.Now()
+					}
+				}
+				continue
+			}
+			// Failed: selective-repeat ARQ — requeue at the back (or
+			// drop past the retry budget) and keep draining the slot.
+			p.retries++
+			if p.retries > st.cfg.MaxRetries {
+				st.stats.PacketsDropped++
+				continue
+			}
+			st.queue.push(p)
+		}
+	}
+}
 
 // Run simulates the network for the given span from a clean state and
-// returns the report. Runs are independent: the same Sim run twice with
-// the same seed and span produces identical reports.
+// returns a freshly allocated report. Runs are independent: the same Sim
+// run twice with the same seed and span produces identical reports. The
+// report's Schedule aliases the Sim's arena (valid until the next Reset);
+// callers on the zero-allocation path use RunInto instead.
 func (s *Sim) Run(span units.Duration) (*Report, error) {
-	if span <= 0 {
-		return nil, fmt.Errorf("bannet: non-positive span")
+	rep := &Report{}
+	if err := s.RunInto(span, rep); err != nil {
+		return nil, err
 	}
-	for _, st := range s.states {
-		st.reset()
+	rep.Schedule = &s.schedule
+	return rep, nil
+}
+
+// RunInto simulates the network for the given span from a clean state
+// into rep, reusing rep's node-stats buffer. It is the allocation-free
+// form of Run: once the Sim's arena and rep's buffers have warmed, a
+// Reset–RunInto cycle performs no heap allocation (pinned by the
+// steady-state regression test). rep.Schedule is left nil — the schedule
+// is per-kernel arena state, available via Schedule.
+func (s *Sim) RunInto(span units.Duration, rep *Report) error {
+	if span <= 0 {
+		return fmt.Errorf("bannet: non-positive span")
+	}
+	for i := range s.states {
+		s.states[i].reset()
 	}
 	s.hub.reset()
-
-	sim := desim.New(s.cfg.Seed)
-	report := &Report{Schedule: s.schedule}
-	hub := &s.hub
-	schedule := s.schedule
+	s.kern.Reset(s.seed)
+	*rep = Report{Nodes: rep.Nodes[:0]}
+	s.rep = rep
 
 	// Packet generation: one event per packet at the node's output rate.
-	for _, st := range s.states {
-		st := st
+	for i := range s.states {
+		st := &s.states[i]
 		if st.outRate <= 0 {
 			continue
 		}
@@ -254,112 +446,32 @@ func (s *Sim) Run(span units.Duration) (*Report, error) {
 		if interval < desim.Microsecond {
 			interval = desim.Microsecond
 		}
-		sim.Every(interval, interval, func() {
-			if st.dead {
-				return
-			}
-			st.queue.push(packet{created: sim.Now()})
-			st.stats.PacketsGenerated++
-		})
+		s.kern.Periodic(interval, interval, s.genFn(i))
 	}
 
-	// Superframe processing: at each node's slot, drain up to the slot
-	// capacity with PER-driven retries.
-	superframe := desim.FromSeconds(float64(s.tdma.Superframe))
-	beaconTime := float64(schedule.BeaconTime)
-	sim.Every(superframe, superframe, func() {
-		for _, st := range s.states {
-			if st.dead {
-				continue
-			}
-			// Continuous drain (sensing + ISA + sleep floor) plus the
-			// beacon cost debits the battery in DrainBattery mode.
-			syncE := st.cfg.Radio.ActiveRX.Times(units.Duration(beaconTime)) +
-				st.cfg.Radio.WakeEnergy
-			cont := st.continuousPower().Times(units.Duration(superframe.Seconds()))
-			if !st.drain(cont+syncE, sim.Now()) {
-				continue
-			}
-			// Beacon listen: every node wakes and receives the beacon.
-			st.stats.SyncEnergy += syncE
-			slot := schedule.SlotFor(st.cfg.ID)
-			if slot == nil {
-				continue
-			}
-			budget := slot.CapacityBits
-			for st.queue.len() > 0 && budget >= int64(st.cfg.PacketBits) {
-				p := st.queue.pop()
-				budget -= int64(st.cfg.PacketBits)
-				air := st.cfg.Radio.TimeOnAir(st.cfg.PacketBits)
-				txE := st.cfg.Radio.ActiveTX.Times(air)
-				if !st.drain(txE, sim.Now()) {
-					break
-				}
-				st.stats.TxEnergy += txE
-				st.airTime += air
-				st.stats.Transmissions++
-				if sim.Rand().Float64() >= st.effPER {
-					// Delivered.
-					lat := units.Duration((sim.Now() - p.created).Seconds())
-					st.latencies = append(st.latencies, lat)
-					st.stats.PacketsDelivered++
-					st.stats.BitsDelivered += int64(st.cfg.PacketBits)
-					report.HubRxBits += int64(st.cfg.PacketBits)
-					report.HubRxEnergy += st.cfg.Radio.ActiveRX.Times(air)
-					// Assemble inference input windows and dispatch to
-					// the hub NPU queue.
-					if spec := st.cfg.Inference; spec != nil {
-						if st.windowBits == 0 {
-							st.windowStart = p.created
-						}
-						st.windowBits += int64(st.cfg.PacketBits)
-						for st.windowBits >= spec.InputBits {
-							st.windowBits -= spec.InputBits
-							done := hub.enqueue(sim.Now(), st.windowStart, spec.MACs)
-							e2e := units.Duration((done - st.windowStart).Seconds())
-							st.infLat = append(st.infLat, e2e)
-							st.stats.Inferences++
-							st.windowStart = sim.Now()
-						}
-					}
-					continue
-				}
-				// Failed: selective-repeat ARQ — requeue at the back (or
-				// drop past the retry budget) and keep draining the slot.
-				p.retries++
-				if p.retries > st.cfg.MaxRetries {
-					st.stats.PacketsDropped++
-					continue
-				}
-				st.queue.push(p)
-			}
-		}
-	})
+	// Superframe processing.
+	if s.frameFn == nil {
+		s.frameFn = s.frameTick
+	}
+	s.kern.Periodic(s.superframe, s.superframe, s.frameFn)
 
 	// Harvesting: sample each harvester once per simulated second.
-	for _, st := range s.states {
-		st := st
-		if st.cfg.Harvester == nil {
+	for i := range s.states {
+		if s.states[i].cfg.Harvester == nil {
 			continue
 		}
-		sim.Every(desim.Second, desim.Second, func() {
-			e := st.cfg.Harvester.Sample(sim.Rand()).Times(units.Second)
-			st.stats.Harvested += e
-			if st.battState != nil && !st.dead {
-				st.battState.Recharge(e)
-			}
-		})
+		s.kern.Periodic(desim.Second, desim.Second, s.harvFn(i))
 	}
 
 	end := desim.FromSeconds(float64(span))
-	sim.RunUntil(end)
-	report.Duration = span
-	report.Events = sim.Executed()
+	s.kern.RunUntil(end)
+	rep.Duration = span
+	rep.Events = s.kern.Executed()
 
 	// Close the books: continuous power components over each node's
 	// lifespan (the full span, or until battery death).
-	report.Nodes = make([]NodeStats, 0, len(s.states))
-	for _, st := range s.states {
+	for i := range s.states {
+		st := &s.states[i]
 		stats := &st.stats
 		life := span
 		if st.dead {
@@ -383,20 +495,23 @@ func (s *Sim) Run(span units.Duration) (*Report, error) {
 		harvestPower := stats.Harvested.At(life)
 		stats.Perpetual = stats.ProjectedLife >= energy.PerpetualLife || harvestPower >= stats.AvgPower
 
-		// Latency percentiles.
+		// Latency percentiles. Sorting a multiset of floats yields the
+		// same sequence under any algorithm, so the percentile picks are
+		// unchanged from the previous sort.Slice formulation.
 		if len(st.latencies) > 0 {
-			sort.Slice(st.latencies, func(i, j int) bool { return st.latencies[i] < st.latencies[j] })
+			slices.Sort(st.latencies)
 			stats.LatencyP50 = st.latencies[len(st.latencies)/2]
 			stats.LatencyP99 = st.latencies[(len(st.latencies)*99)/100]
 		}
 		if len(st.infLat) > 0 {
-			sort.Slice(st.infLat, func(i, j int) bool { return st.infLat[i] < st.infLat[j] })
+			slices.Sort(st.infLat)
 			stats.InferenceP50 = st.infLat[len(st.infLat)/2]
 			stats.InferenceP99 = st.infLat[(len(st.infLat)*99)/100]
 		}
-		report.Nodes = append(report.Nodes, *stats)
+		rep.Nodes = append(rep.Nodes, *stats)
 	}
-	report.HubComputeEnergy = hub.energy
-	report.HubUtilization = units.Clamp(hub.busyTotal.Seconds()/float64(span), 0, 1)
-	return report, nil
+	rep.HubComputeEnergy = s.hub.energy
+	rep.HubUtilization = units.Clamp(s.hub.busyTotal.Seconds()/float64(span), 0, 1)
+	s.rep = nil
+	return nil
 }

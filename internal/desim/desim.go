@@ -48,17 +48,29 @@ func (t Time) String() string { return fmt.Sprintf("%gs", t.Seconds()) }
 // event's timestamp.
 type Handler func()
 
-// event is a pending callback in the priority queue.
+// event is a pending callback in the priority queue. Events are recycled
+// through the simulator's freelist: after a one-shot event runs (or a
+// canceled event is reaped) its storage goes back to the arena, so a
+// steady-state simulation — millions of events — allocates a bounded
+// handful of event structs. gen counts recycles so a stale EventID held
+// across a recycle can never cancel the event that now occupies the slot.
 type event struct {
 	at      Time
 	seq     uint64 // tie-breaker: FIFO among same-time events
 	fn      Handler
+	period  Time // > 0: self-rearming periodic event (see Periodic)
+	gen     uint32
 	stopped bool
 	index   int // heap index, -1 once popped
 }
 
-// EventID identifies a scheduled event so it can be canceled.
-type EventID struct{ ev *event }
+// EventID identifies a scheduled event so it can be canceled. It pins the
+// event's recycle generation: an ID that outlives its event (the event
+// ran, or the simulator was Reset) becomes an inert no-op for Cancel.
+type EventID struct {
+	ev  *event
+	gen uint32
+}
 
 // eventQueue implements heap.Interface ordered by (at, seq).
 type eventQueue []*event
@@ -92,6 +104,12 @@ func (q *eventQueue) Pop() any {
 
 // Simulator owns a virtual clock, an event queue and a deterministic RNG.
 // The zero value is not usable; construct with New.
+//
+// A Simulator is a reusable arena: Reset rewinds it to the freshly
+// constructed state (new seed, empty queue, zero clock) while keeping the
+// event freelist and queue capacity, so a driver that replays many
+// scenarios on one kernel — the fleet engine's per-worker shards — runs
+// allocation-free in steady state.
 type Simulator struct {
 	now    Time
 	queue  eventQueue
@@ -99,11 +117,52 @@ type Simulator struct {
 	rng    *rand.Rand
 	events uint64 // executed event count, for stats
 	halted bool
+	free   []*event // recycled event storage
 }
 
 // New returns a simulator whose RNG is seeded with seed.
 func New(seed int64) *Simulator {
 	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Reset rewinds the simulator to the state New(seed) constructs —
+// identical RNG stream, empty queue, zero clock and counters — while
+// retaining the event arena and queue capacity for reuse. Any EventID
+// from before the Reset is inert.
+func (s *Simulator) Reset(seed int64) {
+	for _, ev := range s.queue {
+		s.recycle(ev)
+	}
+	s.queue = s.queue[:0]
+	s.now = 0
+	s.seq = 0
+	s.events = 0
+	s.halted = false
+	s.rng.Seed(seed)
+}
+
+// alloc takes an event from the freelist (or the heap allocator on a
+// cold arena) and stamps it with the next sequence number.
+func (s *Simulator) alloc(at Time, fn Handler, period Time) *event {
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.seq, ev.fn, ev.period, ev.stopped = at, s.seq, fn, period, false
+	s.seq++
+	return ev
+}
+
+// recycle returns an event's storage to the arena. Bumping gen makes
+// every outstanding EventID for this storage inert.
+func (s *Simulator) recycle(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	s.free = append(s.free, ev)
 }
 
 // DeriveSeed expands one base seed into a family of decorrelated child
@@ -150,10 +209,9 @@ func (s *Simulator) At(at Time, fn Handler) EventID {
 	if at < s.now {
 		panic(fmt.Sprintf("desim: scheduling at %v before now %v", at, s.now))
 	}
-	ev := &event{at: at, seq: s.seq, fn: fn}
-	s.seq++
+	ev := s.alloc(at, fn, 0)
 	heap.Push(&s.queue, ev)
-	return EventID{ev}
+	return EventID{ev, ev.gen}
 }
 
 // After schedules fn to run delay after the current time.
@@ -165,37 +223,41 @@ func (s *Simulator) After(delay Time, fn Handler) EventID {
 }
 
 // Cancel prevents a scheduled event from running. Canceling an event that
-// already ran (or was already canceled) is a harmless no-op.
+// already ran (or was already canceled, or predates a Reset) is a
+// harmless no-op: the EventID's generation no longer matches the recycled
+// storage, so nothing is touched.
 func (s *Simulator) Cancel(id EventID) {
-	if id.ev != nil {
+	if id.ev != nil && id.ev.gen == id.gen {
 		id.ev.stopped = true
 	}
 }
 
+// Periodic schedules fn to run at now+first and then every period
+// thereafter, until the returned ID is canceled. Unlike Every it carries
+// no closure machinery: the kernel re-arms the same event storage after
+// each firing (taking the next sequence number exactly where the
+// callback-rescheduling pattern would), so a periodic source costs one
+// arena event for the whole run. Halt stops the re-arm like it stops a
+// self-rescheduling callback. A periodic event never drains on its own;
+// drive the simulation with RunUntil or Cancel it before Run.
+func (s *Simulator) Periodic(first, period Time, fn Handler) EventID {
+	if period <= 0 {
+		panic("desim: Periodic requires a positive period")
+	}
+	if first < 0 {
+		panic(fmt.Sprintf("desim: negative delay %v", first))
+	}
+	ev := s.alloc(s.now+first, fn, period)
+	heap.Push(&s.queue, ev)
+	return EventID{ev, ev.gen}
+}
+
 // Every schedules fn to run now+first, then every period thereafter, until
 // the returned stop function is called. fn observes the simulator clock; a
-// period must be positive.
+// period must be positive. It is Periodic with a closure-shaped handle.
 func (s *Simulator) Every(first, period Time, fn Handler) (stop func()) {
-	if period <= 0 {
-		panic("desim: Every requires a positive period")
-	}
-	stopped := false
-	var tick Handler
-	var id EventID
-	tick = func() {
-		if stopped {
-			return
-		}
-		fn()
-		if !stopped && !s.halted {
-			id = s.After(period, tick)
-		}
-	}
-	id = s.After(first, tick)
-	return func() {
-		stopped = true
-		s.Cancel(id)
-	}
+	id := s.Periodic(first, period, fn)
+	return func() { s.Cancel(id) }
 }
 
 // Halt stops the run loop after the current event returns. Pending events
@@ -203,16 +265,28 @@ func (s *Simulator) Every(first, period Time, fn Handler) (stop func()) {
 func (s *Simulator) Halt() { s.halted = true }
 
 // step executes the earliest pending event. It reports false if the queue
-// is empty.
+// is empty. One-shot events are recycled after running; periodic events
+// re-arm in place, taking the next sequence number at exactly the point a
+// self-rescheduling callback would have (after its handler returned), so
+// the event order is bit-identical to the closure formulation.
 func (s *Simulator) step() bool {
 	for s.queue.Len() > 0 {
 		ev := heap.Pop(&s.queue).(*event)
 		if ev.stopped {
+			s.recycle(ev)
 			continue
 		}
 		s.now = ev.at
 		s.events++
 		ev.fn()
+		if ev.period > 0 && !ev.stopped && !s.halted {
+			ev.at += ev.period
+			ev.seq = s.seq
+			s.seq++
+			heap.Push(&s.queue, ev)
+		} else {
+			s.recycle(ev)
+		}
 		return true
 	}
 	return false
@@ -239,7 +313,7 @@ func (s *Simulator) RunUntil(end Time) Time {
 		// Peek at the head without popping.
 		next := s.queue[0]
 		if next.stopped {
-			heap.Pop(&s.queue)
+			s.recycle(heap.Pop(&s.queue).(*event))
 			continue
 		}
 		if next.at > end {

@@ -1,6 +1,7 @@
 package desim
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
@@ -236,5 +237,126 @@ func TestTimeConversions(t *testing.T) {
 	}
 	if Day != 24*Hour || Hour != 60*Minute {
 		t.Error("time constants inconsistent")
+	}
+}
+
+// TestPeriodicMatchesCallbackRescheduling pins the arena's re-arm
+// discipline against the classic self-rescheduling-callback formulation:
+// both must interleave multiple sources (and a one-shot event scheduled
+// mid-run) in the identical order, because the fleet fingerprints were
+// recorded under the callback formulation.
+func TestPeriodicMatchesCallbackRescheduling(t *testing.T) {
+	run := func(periodic bool) []string {
+		s := New(9)
+		var order []string
+		mark := func(tag string) func() {
+			return func() { order = append(order, fmt.Sprintf("%s@%v#%d", tag, s.Now(), s.Rand().Intn(100))) }
+		}
+		sources := []struct {
+			tag           string
+			first, period Time
+		}{
+			{"a", 10 * Millisecond, 10 * Millisecond},
+			{"b", 10 * Millisecond, 15 * Millisecond},
+			{"c", 5 * Millisecond, 25 * Millisecond},
+		}
+		for _, src := range sources {
+			fn := mark(src.tag)
+			if periodic {
+				s.Periodic(src.first, src.period, fn)
+			} else {
+				period := src.period
+				var tick Handler
+				tick = func() {
+					fn()
+					if !s.halted {
+						s.After(period, tick)
+					}
+				}
+				s.After(src.first, tick)
+			}
+		}
+		s.At(20*Millisecond, mark("one-shot"))
+		s.RunUntil(100 * Millisecond)
+		return order
+	}
+	want := run(false)
+	got := run(true)
+	if len(got) == 0 || fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("periodic order diverged from callback rescheduling:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestResetReplaysIdentically: a Reset simulator must replay the run of a
+// freshly constructed one bit-for-bit — same RNG stream, same event
+// count — and stale EventIDs from before the Reset must be inert.
+func TestResetReplaysIdentically(t *testing.T) {
+	run := func(s *Simulator) ([]int64, uint64) {
+		var draws []int64
+		s.Periodic(Millisecond, Millisecond, func() {
+			draws = append(draws, s.Rand().Int63n(1000))
+		})
+		s.RunUntil(50 * Millisecond)
+		return draws, s.Executed()
+	}
+	fresh := New(77)
+	wantDraws, wantEvents := run(fresh)
+
+	s := New(1)
+	stale := s.Periodic(Second, Second, func() { t.Error("event from before Reset ran") })
+	run(s) // dirty the clock, queue and RNG
+	s.Reset(77)
+	if s.Now() != 0 || s.Executed() != 0 || s.Pending() != 0 {
+		t.Fatalf("Reset left state: now=%v executed=%d pending=%d", s.Now(), s.Executed(), s.Pending())
+	}
+	gotDraws, gotEvents := run(s)
+	s.Cancel(stale) // must not touch whatever now occupies the arena slot
+	s.RunUntil(60 * Millisecond)
+	if gotEvents != wantEvents {
+		t.Fatalf("Reset replay executed %d events, fresh executed %d", gotEvents, wantEvents)
+	}
+	for i := range wantDraws {
+		if gotDraws[i] != wantDraws[i] {
+			t.Fatalf("Reset replay RNG diverged at draw %d: %d vs %d", i, gotDraws[i], wantDraws[i])
+		}
+	}
+}
+
+// TestCancelAfterRecycleIsInert: an EventID whose event already ran (and
+// whose storage was recycled into a new event) must not cancel the new
+// occupant.
+func TestCancelAfterRecycleIsInert(t *testing.T) {
+	s := New(1)
+	first := s.At(Millisecond, func() {})
+	s.Run()
+	ran := false
+	s.At(2*Millisecond, func() { ran = true }) // reuses the recycled storage
+	s.Cancel(first)                            // stale generation: must be a no-op
+	s.Run()
+	if !ran {
+		t.Fatal("stale EventID canceled a recycled event")
+	}
+}
+
+// TestKernelSteadyStateZeroAlloc pins the arena contract the fleet
+// engine's zero-allocation hot path is built on: once warm, a
+// Reset-schedule-run cycle allocates nothing.
+func TestKernelSteadyStateZeroAlloc(t *testing.T) {
+	s := New(1)
+	var sink int64
+	// Handlers are hoisted out of the cycle, the way a reusable driver
+	// caches its tick closures: a fresh closure per cycle would itself be
+	// the per-run allocation the arena exists to avoid.
+	fast := func() { sink += s.Rand().Int63n(3) }
+	slow := func() { sink++ }
+	cycle := func() {
+		s.Reset(42)
+		s.Periodic(Millisecond, Millisecond, fast)
+		s.Periodic(Millisecond, 7*Millisecond, slow)
+		s.RunUntil(100 * Millisecond)
+	}
+	cycle() // warm the arena
+	if avg := testing.AllocsPerRun(10, cycle); avg != 0 {
+		t.Fatalf("steady-state kernel cycle allocates %.1f times per run, want 0", avg)
 	}
 }

@@ -162,6 +162,14 @@ func (s *State) Reset() {
 	s.drained = 0
 }
 
+// Reinit repoints the state at a different cell and refills it — the
+// reusable-arena form of NewState, for simulators that recycle node
+// state across scenarios.
+func (s *State) Reinit(b *Battery) {
+	s.batt = b
+	s.Reset()
+}
+
 // Remaining returns the energy left.
 func (s *State) Remaining() units.Energy { return s.remaining }
 

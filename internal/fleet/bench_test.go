@@ -12,11 +12,15 @@ import (
 	"wiban/internal/units"
 )
 
-// benchFleet sweeps 200 wearers × 60 simulated seconds.
-func benchFleet(b *testing.B, workers int) {
+// benchFleet sweeps 200 wearers × 60 simulated seconds. Every fleet
+// benchmark reports allocs (the zero-allocation kernel contract is a
+// headline number here) and phase1-ms (0 when uncoupled) so the
+// BENCH_fleet.json schema is uniform across engines.
+func benchFleet(b *testing.B, workers int, fresh bool) {
 	b.Helper()
 	f := testFleet(200, workers, 42)
 	f.Span = 60 * units.Second
+	f.freshKernels = fresh
 	b.ReportAllocs()
 	var last Perf
 	for i := 0; i < b.N; i++ {
@@ -28,14 +32,24 @@ func benchFleet(b *testing.B, workers int) {
 	}
 	b.ReportMetric(last.RunsPerSec, "runs/s")
 	b.ReportMetric(last.EventsPerSec, "events/s")
+	b.ReportMetric(last.Phase1.Seconds()*1e3, "phase1-ms")
 }
 
-func BenchmarkFleetWorkers1(b *testing.B) { benchFleet(b, 1) }
-func BenchmarkFleetWorkers4(b *testing.B) { benchFleet(b, 4) }
+func BenchmarkFleetWorkers1(b *testing.B) { benchFleet(b, 1, false) }
+func BenchmarkFleetWorkers4(b *testing.B) { benchFleet(b, 4, false) }
 func BenchmarkFleetWorkersNumCPU(b *testing.B) {
 	b.Logf("NumCPU = %d", runtime.NumCPU())
-	benchFleet(b, runtime.NumCPU())
+	benchFleet(b, runtime.NumCPU(), false)
 }
+
+// BenchmarkFleetReuse / BenchmarkFleetFresh record the kernel-arena win
+// as a first-class pair: identical workload and worker count, with Fresh
+// forcing the pre-arena lifecycle (a new Sim, RNG and report per wearer)
+// and Reuse running the recycled per-worker arenas. Results are
+// bit-identical (TestFreshKernelsMatchesReuse); only allocation lifetime
+// — and therefore allocs/op, B/op and GC pressure — differs.
+func BenchmarkFleetReuse(b *testing.B) { benchFleet(b, 4, false) }
+func BenchmarkFleetFresh(b *testing.B) { benchFleet(b, 4, true) }
 
 // TestFleetParallelSpeedup asserts the acceptance criterion on machines
 // with enough cores: the NumCPU-worker sweep of 1,000 wearers runs >2×
@@ -78,10 +92,12 @@ func TestFleetParallelSpeedup(t *testing.T) {
 // load), so the physics — and the per-wearer event count — match the
 // uncoupled benchmark and the delta is pure engine overhead: phase 1
 // plus coupling bookkeeping. The acceptance budget is ≤10% vs the
-// uncoupled workers-matched baseline in BENCH_fleet.json.
+// uncoupled workers-matched baseline in BENCH_fleet.json. Phase 1 runs
+// the Generator's load pass, matching how cmd/iobfleet wires a sweep.
 func benchCoupledFleet(b *testing.B, workers, cells int, feedback bool) {
 	b.Helper()
 	f := testFleet(200, workers, 42)
+	f.Loads = testGenerator().LoadScenario()
 	f.Span = 60 * units.Second
 	f.Coupling = &Coupling{Cells: cells, Feedback: feedback}
 	b.ReportAllocs()

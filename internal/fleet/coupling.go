@@ -2,7 +2,6 @@ package fleet
 
 import (
 	"fmt"
-	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -73,12 +72,15 @@ func (c *Coupling) validate() error {
 	if err := c.model().Validate(); err != nil {
 		return err
 	}
-	return c.equilibrium().Validate()
+	eq := c.equilibrium()
+	return eq.Validate()
 }
 
 // equilibrium is the effective fixed-point solver of a feedback coupling.
-func (c *Coupling) equilibrium() *spectrum.Equilibrium {
-	return &spectrum.Equilibrium{Model: c.Model, MaxIters: c.MaxIters, TolPPM: c.TolPPM}
+// It is returned by value — the solver is a parameter bundle, built once
+// per sweep, never per wearer.
+func (c *Coupling) equilibrium() spectrum.Equilibrium {
+	return spectrum.Equilibrium{Model: c.Model, MaxIters: c.MaxIters, TolPPM: c.TolPPM}
 }
 
 // effIters and effTol render the solver knobs with defaults applied.
@@ -124,13 +126,20 @@ func (f *Fleet) cellOf(w int) int {
 // feedback engine inflates it with the retry budget at equilibrium
 // (spectrum.Equilibrium).
 func nodeOfferedPPM(n *bannet.NodeConfig) (ppm int64, ok bool) {
-	if n.Radio == nil || n.Radio.Tech != radio.TechRF || n.Sensor == nil || n.Policy == nil {
+	return offeredPPMWith(n, n.Radio)
+}
+
+// offeredPPMWith is nodeOfferedPPM with the effective radio made
+// explicit, so the Generator's load pass can apply the BLE-fallback rule
+// without materializing a perturbed NodeConfig.
+func offeredPPMWith(n *bannet.NodeConfig, r *radio.Transceiver) (ppm int64, ok bool) {
+	if r == nil || r.Tech != radio.TechRF || n.Sensor == nil || n.Policy == nil {
 		return 0, false
 	}
-	if n.Radio.Goodput <= 0 {
+	if r.Goodput <= 0 {
 		return 0, false
 	}
-	duty := float64(n.Policy.OutputRate(n.Sensor.DataRate())) / float64(n.Radio.Goodput)
+	duty := float64(n.Policy.OutputRate(n.Sensor.DataRate())) / float64(r.Goodput)
 	if duty > 1 {
 		duty = 1
 	}
@@ -163,11 +172,31 @@ func offeredLoadPPM(cfg *bannet.Config) int64 {
 }
 
 // phase1 carries the offered-load reduction's results into phase 2: the
-// first-order per-cell table always, plus the per-wearer equilibrium
-// solution when the coupling closes the feedback loop.
+// first-order per-cell table always, the collision model (resolved once
+// per sweep, so the default model is not re-allocated per wearer), plus
+// the per-wearer equilibrium solution when the coupling closes the
+// feedback loop.
 type phase1 struct {
 	loads *spectrum.LoadTable
+	model *spectrum.Model
 	eq    *spectrum.Result // nil unless Coupling.Feedback
+}
+
+// wearerLoads is the phase-1 per-wearer load pass: it reseeds the
+// worker's scratch RNG to the wearer's scenario stream and appends the
+// wearer's radiative node loads to dst — via the allocation-free
+// LoadScenario fast path when the fleet provides one, else by generating
+// the full scenario and reducing it.
+func (f *Fleet) wearerLoads(w int, sc *workerScratch, dst []spectrum.NodeLoad) ([]spectrum.NodeLoad, error) {
+	sc.rng.Seed(desim.DeriveSeed(f.Seed, 2*uint64(w)))
+	if f.Loads != nil {
+		return f.Loads(w, sc.rng, dst)
+	}
+	cfg, err := f.Scenario(w, sc.rng)
+	if err != nil {
+		return dst, err
+	}
+	return appendNodeLoads(dst, &cfg), nil
 }
 
 // offeredLoads is phase 1: the deterministic per-cell load reduction over
@@ -180,6 +209,12 @@ type phase1 struct {
 // ordering can matter) and a single-threaded fixed-point solve follows —
 // equally worker-count invariant. A failing scenario surfaces as the
 // lowest failing wearer index, matching the phase-2 error contract.
+//
+// The pass is allocation-free per wearer: each worker owns a scratch
+// (pooled RNG plus a reusable load buffer) and, in feedback mode,
+// appends node loads into a per-worker arena whose sub-slices the
+// members keep — a grown arena strands its old backing array, but the
+// values stored there are final, so stored members stay valid.
 func (f *Fleet) offeredLoads(workers int) (*phase1, error) {
 	cells := f.Coupling.Cells
 	total, err := spectrum.NewLoadTable(cells)
@@ -208,6 +243,8 @@ func (f *Fleet) offeredLoads(workers int) (*phase1, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := newWorkerScratch()
+			var arena []spectrum.NodeLoad // feedback mode: member loads, append-only
 			local, _ := spectrum.NewLoadTable(cells)
 			localFail, localErr := -1, error(nil)
 			for {
@@ -220,24 +257,34 @@ func (f *Fleet) offeredLoads(workers int) (*phase1, error) {
 					hi = f.Wearers
 				}
 				for w := lo; w < hi; w++ {
-					rng := rand.New(rand.NewSource(desim.DeriveSeed(f.Seed, 2*uint64(w))))
-					cfg, err := f.Scenario(w, rng)
-					if err != nil {
-						if localFail == -1 || w < localFail {
-							localFail, localErr = w, err
-						}
-						continue
-					}
 					cell := f.cellOf(w)
 					var own int64
 					if members != nil {
-						m := spectrum.Member{Cell: cell, Nodes: appendNodeLoads(nil, &cfg)}
+						start := len(arena)
+						var err error
+						if arena, err = f.wearerLoads(w, sc, arena); err != nil {
+							if localFail == -1 || w < localFail {
+								localFail, localErr = w, err
+							}
+							arena = arena[:start]
+							continue
+						}
+						m := spectrum.Member{Cell: cell, Nodes: arena[start:len(arena):len(arena)]}
 						for _, nl := range m.Nodes {
 							own += nl.BasePPM
 						}
 						members[w] = m
 					} else {
-						own = offeredLoadPPM(&cfg)
+						var err error
+						if sc.loads, err = f.wearerLoads(w, sc, sc.loads[:0]); err != nil {
+							if localFail == -1 || w < localFail {
+								localFail, localErr = w, err
+							}
+							continue
+						}
+						for _, nl := range sc.loads {
+							own += nl.BasePPM
+						}
 					}
 					if err := local.Add(cell, own); err != nil {
 						if localFail == -1 || w < localFail {
@@ -260,24 +307,27 @@ func (f *Fleet) offeredLoads(workers int) (*phase1, error) {
 	if failIdx != -1 {
 		return nil, fmt.Errorf("fleet: offered-load phase: wearer %d: %w", failIdx, failErr)
 	}
-	p1 := &phase1{loads: total}
+	p1 := &phase1{loads: total, model: f.Coupling.model()}
 	if members != nil {
-		eq, err := f.Coupling.equilibrium().Solve(cells, members)
+		eq := f.Coupling.equilibrium()
+		res, err := eq.Solve(cells, members)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: equilibrium phase: %w", err)
 		}
-		p1.eq = eq
+		p1.eq = res
 	}
 	return p1, nil
 }
 
 // applyInterference stamps the cell's collision probability onto the
-// config's RF nodes (copying the node slice first: the scenario may hand
-// out shared backing arrays) and returns the wearer's spectrum placement
-// for telemetry: its cell, first-order foreign load, and — in feedback
-// mode — the equilibrium foreign load the collision probability actually
-// came from plus the cell's fixed-point round count.
-func (f *Fleet) applyInterference(w int, cfg *bannet.Config, p1 *phase1) (cell int, foreignPPM, eqForeignPPM int64, iters int) {
+// config's RF nodes (copying the node slice into the worker's scratch
+// buffer first: the scenario may hand out shared backing arrays, and the
+// kernel copies node configs out before the buffer's next reuse) and
+// returns the wearer's spectrum placement for telemetry: its cell,
+// first-order foreign load, and — in feedback mode — the equilibrium
+// foreign load the collision probability actually came from plus the
+// cell's fixed-point round count.
+func (f *Fleet) applyInterference(w int, cfg *bannet.Config, p1 *phase1, sc *workerScratch) (cell int, foreignPPM, eqForeignPPM int64, iters int) {
 	cell = f.cellOf(w)
 	foreignPPM = p1.loads.ForeignPPM(cell, offeredLoadPPM(cfg))
 	effPPM := foreignPPM
@@ -286,11 +336,10 @@ func (f *Fleet) applyInterference(w int, cfg *bannet.Config, p1 *phase1) (cell i
 		iters = p1.eq.Iters(cell)
 		effPPM = eqForeignPPM
 	}
-	p := f.Coupling.model().CollisionProb(spectrum.Erlangs(effPPM))
+	p := p1.model.CollisionProb(spectrum.Erlangs(effPPM))
 	if p > 0 {
-		nodes := make([]bannet.NodeConfig, len(cfg.Nodes))
-		copy(nodes, cfg.Nodes)
-		cfg.Nodes = nodes
+		sc.nodes = append(sc.nodes[:0], cfg.Nodes...)
+		cfg.Nodes = sc.nodes
 		for i := range cfg.Nodes {
 			if r := cfg.Nodes[i].Radio; r != nil && r.Tech == radio.TechRF {
 				cfg.Nodes[i].CollisionPER = p

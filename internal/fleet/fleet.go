@@ -58,6 +58,26 @@
 // store via Replay), and because per-wearer seeds derive from absolute
 // wearer indices the resumed sweep is bit-identical to an uninterrupted
 // one.
+//
+// # Zero-allocation steady state
+//
+// The per-wearer hot path allocates nothing once warm. Each worker owns
+// a scratch — a pooled rand.Rand reseeded per wearer (bit-identical
+// stream to a fresh one), a long-lived bannet.Sim kernel arena recycled
+// with Reset/RunInto, and a node buffer interference stamping copies
+// into — and the reorder window circulates a fixed pool of output
+// buffers between workers and the in-order consumer. Sinks receive
+// records on a borrow-until-return contract (see Sink), so one record
+// buffer serves the whole sweep. The coupled engine's phase 1 runs the
+// same scratch through a load pass (Fleet.Loads, Generator.LoadScenario)
+// instead of regenerating full scenarios. What remains is scenario
+// generation itself — a node slice and battery clones per wearer,
+// pinned by TestFleetSteadyStateAllocBudget — plus O(workers) per-sweep
+// setup; allocation budgets are recorded in BENCH_fleet.json and
+// enforced by CI's allocation-budget gate. None of this moves a byte of
+// output: seeding and emit order are unchanged, and
+// TestFreshKernelsMatchesReuse pins the recycled engine to the
+// rebuild-everything formulation.
 package fleet
 
 import (
@@ -69,6 +89,8 @@ import (
 
 	"wiban/internal/bannet"
 	"wiban/internal/desim"
+	"wiban/internal/spectrum"
+	"wiban/internal/telemetry"
 	"wiban/internal/units"
 )
 
@@ -77,8 +99,24 @@ import (
 // seed; all perturbation randomness must come from it. Config.Seed is
 // overwritten by the engine with the wearer's simulation seed, so a
 // Scenario need not set it. Scenarios are called concurrently from worker
-// goroutines and must not mutate shared state.
+// goroutines and must not mutate shared state. The engine consumes the
+// returned config — including cfg.Nodes — before the same worker's next
+// call, and never mutates it in place (interference stamping copies the
+// node slice first), so a scenario may hand out slices backed by shared
+// read-only storage.
 type Scenario func(wearer int, rng *rand.Rand) (bannet.Config, error)
+
+// LoadScenario is the coupled engine's optional phase-1 fast path: it
+// appends the wearer's radiative node loads (first-order offered airtime
+// plus retry budget, see spectrum.NodeLoad) to dst and returns the
+// extended slice, without building the full bannet.Config. It must be
+// behaviorally identical to the fleet's Scenario — same RNG consumption,
+// same surviving nodes, same effective radios — or phase 1 and phase 2
+// would silently explore different populations; Generator.LoadScenario
+// derives both from one draw block, and the equivalence is pinned by
+// test. A LoadScenario is called concurrently from worker goroutines and
+// must not mutate shared state.
+type LoadScenario func(wearer int, rng *rand.Rand, dst []spectrum.NodeLoad) ([]spectrum.NodeLoad, error)
 
 // Fleet describes a population sweep.
 type Fleet struct {
@@ -103,6 +141,18 @@ type Fleet struct {
 	// node's loss is inflated by its cell's offered load (see Coupling).
 	// Nil preserves the original fully-independent sweep.
 	Coupling *Coupling
+	// Loads, when non-nil, replaces full scenario generation in the
+	// coupled engine's phase 1 with an allocation-free load pass (see
+	// LoadScenario). Optional: phase 1 falls back to Scenario when nil.
+	// It MUST be load-equivalent to Scenario; the engine trusts it.
+	Loads LoadScenario
+
+	// freshKernels disables the per-worker kernel arena, rebuilding a
+	// Sim (and a scenario RNG) for every wearer the way the engine did
+	// before kernels became reusable. It exists solely so the
+	// BenchmarkFleetFresh/BenchmarkFleetReuse pair can record the arena
+	// win as a first-class number; results are bit-identical either way.
+	freshKernels bool
 }
 
 // Perf captures wall-clock throughput of a fleet run. It is reported
@@ -153,8 +203,10 @@ func (f *Fleet) Run() (*Report, Perf, error) {
 
 // RunReports is the opt-in full-report path: it materializes every
 // per-wearer report (O(fleet) memory) and aggregates them with the exact
-// sorted-sample percentiles of Aggregate. Resume (Start > 0) is not
-// supported here — partial sweeps only make sense streamed.
+// sorted-sample percentiles of Aggregate. The materialized reports carry
+// no Schedule — the schedule is per-kernel arena state (see
+// bannet.Sim.Schedule). Resume (Start > 0) is not supported here —
+// partial sweeps only make sense streamed.
 func (f *Fleet) RunReports() ([]*bannet.Report, *Report, Perf, error) {
 	if f.Start != 0 {
 		return nil, nil, Perf{}, fmt.Errorf("fleet: RunReports does not support Start=%d; stream a resumed sweep instead", f.Start)
@@ -163,8 +215,13 @@ func (f *Fleet) RunReports() ([]*bannet.Report, *Report, Perf, error) {
 		return nil, nil, Perf{}, fmt.Errorf("fleet: non-positive population %d", f.Wearers)
 	}
 	reports := make([]*bannet.Report, 0, f.Wearers)
-	perf, err := f.stream(func(w int, out wearerOut) error {
-		reports = append(reports, out.rep)
+	perf, err := f.stream(func(w int, out *wearerOut) error {
+		// The emit callback borrows out until it returns (the buffer goes
+		// back to the window pool), so materializing means copying.
+		rep := out.rep
+		rep.Nodes = append([]bannet.NodeStats(nil), out.rep.Nodes...)
+		rep.Schedule = nil
+		reports = append(reports, &rep)
 		return nil
 	})
 	if err != nil {
@@ -178,9 +235,14 @@ func (f *Fleet) RunReports() ([]*bannet.Report, *Report, Perf, error) {
 // telemetry store's Writer with a StreamAggregator to persist and
 // aggregate in one pass. A sink error aborts the sweep (records already
 // consumed form a valid committed prefix).
+//
+// Records are borrowed: the engine reuses one record buffer (including
+// its Nodes slice) across Consume calls, so a sink must copy whatever it
+// keeps past the call — see the Sink contract.
 func (f *Fleet) Stream(sink Sink) (Perf, error) {
-	return f.stream(func(w int, out wearerOut) error {
-		rec := RecordOf(w, out.rep)
+	var rec telemetry.Record
+	return f.stream(func(w int, out *wearerOut) error {
+		recordInto(&rec, w, &out.rep)
 		rec.Cell = out.cell
 		rec.ForeignLoadPPM = out.foreignPPM
 		rec.EqForeignLoadPPM = out.eqForeignPPM
@@ -191,24 +253,46 @@ func (f *Fleet) Stream(sink Sink) (Perf, error) {
 
 // wearerOut is one completed wearer simulation plus its spectrum
 // placement (cell −1 / load 0 on uncoupled sweeps; the equilibrium
-// fields stay 0 unless the coupling closes the feedback loop).
+// fields stay 0 unless the coupling closes the feedback loop). The
+// structs are pooled: the engine circulates exactly `window` of them
+// between workers and the in-order consumer, so the per-wearer report
+// storage is reused instead of reallocated — the pool doubles as the
+// reorder window's backpressure tokens.
 type wearerOut struct {
-	rep          *bannet.Report
+	rep          bannet.Report
 	cell         int
 	foreignPPM   int64
 	eqForeignPPM int64
 	iters        int
 }
 
+// workerScratch is one worker goroutine's private reusable state: the
+// per-wearer scenario RNG (reseeded instead of reallocated — a fresh
+// rand.Rand is a ~5 KB table), the long-lived simulation kernel arena,
+// and the node-slice buffer interference stamping copies into. Nothing
+// in it survives a wearer except capacity.
+type workerScratch struct {
+	rng   *rand.Rand
+	sim   *bannet.Sim
+	nodes []bannet.NodeConfig
+	loads []spectrum.NodeLoad
+}
+
+func newWorkerScratch() *workerScratch {
+	return &workerScratch{rng: rand.New(rand.NewSource(0))}
+}
+
 // stream is the engine. In coupled mode it first runs phase 1 — the
 // deterministic per-cell offered-load reduction over the whole population
 // — then phase 2 below; uncoupled sweeps skip straight to phase 2.
 // Phase 2 is a worker pool over wearer indices with a bounded reorder
-// window. Workers acquire a window slot before taking an index, and
-// slots free only when the in-order consumer emits the report, so at
-// most `window` completed reports exist at any instant — backpressure,
-// not buffering, absorbs stragglers.
-func (f *Fleet) stream(emit func(w int, out wearerOut) error) (Perf, error) {
+// window. Workers acquire a pooled output buffer (the window slot) before
+// taking an index, and buffers recirculate only when the in-order
+// consumer emits the report, so at most `window` completed reports exist
+// at any instant — backpressure, not buffering, absorbs stragglers — and
+// the same `window` buffers carry every report of the sweep. The emit
+// callback borrows its wearerOut until it returns.
+func (f *Fleet) stream(emit func(w int, out *wearerOut) error) (Perf, error) {
 	if f.Wearers <= 0 {
 		return Perf{}, fmt.Errorf("fleet: non-positive population %d", f.Wearers)
 	}
@@ -249,19 +333,22 @@ func (f *Fleet) stream(emit func(w int, out wearerOut) error) (Perf, error) {
 	window := 4 * workers
 
 	var (
-		slots = make(chan struct{}, window)
-		done  = make(chan struct{})
-		next  atomic.Int64
-		wg    sync.WaitGroup
+		bufs = make(chan *wearerOut, window)
+		done = make(chan struct{})
+		next atomic.Int64
+		wg   sync.WaitGroup
 
 		mu         sync.Mutex
-		pending    = make(map[int]wearerOut, window)
+		pending    = make(map[int]*wearerOut, window)
 		nextEmit   = f.Start
 		maxPending int
 		events     uint64
 		failIdx    = -1
 		failErr    error
 	)
+	for k := 0; k < window; k++ {
+		bufs <- &wearerOut{}
+	}
 	next.Store(int64(f.Start))
 	// fail records the lowest-index failure and halts dispatch. The
 	// lowest recorded index is scheduling-independent: indices are
@@ -284,19 +371,20 @@ func (f *Fleet) stream(emit func(w int, out wearerOut) error) (Perf, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			scratch := newWorkerScratch()
 			for {
+				var out *wearerOut
 				select {
-				case slots <- struct{}{}:
+				case out = <-bufs:
 				case <-done:
 					return
 				}
 				i := int(next.Add(1) - 1)
 				if i >= f.Wearers {
-					<-slots // hand the slot back: nothing will be emitted for it
+					bufs <- out // hand the buffer back: nothing will be emitted for it
 					return
 				}
-				out, err := f.runWearer(i, loads)
-				if err != nil {
+				if err := f.runWearer(i, loads, scratch, out); err != nil {
 					fail(i, fmt.Errorf("fleet: wearer %d: %w", i, err))
 					return
 				}
@@ -319,7 +407,7 @@ func (f *Fleet) stream(emit func(w int, out wearerOut) error) (Perf, error) {
 					}
 					events += r.rep.Events
 					nextEmit++
-					<-slots // the emitted report's slot frees a waiting worker
+					bufs <- r // the emitted report's buffer frees a waiting worker
 				}
 				mu.Unlock()
 			}
@@ -339,26 +427,53 @@ func (f *Fleet) stream(emit func(w int, out wearerOut) error) (Perf, error) {
 	return perf, nil
 }
 
-// runWearer builds and runs one wearer's simulation shard. In coupled
-// mode (loads non-nil) the scenario's RF nodes first get their cell's
-// collision probability stamped on; the scenario's own RNG discipline is
-// untouched, so a coupled and an uncoupled sweep of the same fleet seed
-// explore the identical population and differ only in interference.
-func (f *Fleet) runWearer(w int, loads *phase1) (wearerOut, error) {
-	rng := rand.New(rand.NewSource(desim.DeriveSeed(f.Seed, 2*uint64(w))))
+// runWearer builds and runs one wearer's simulation shard into the
+// pooled output buffer. In coupled mode (loads non-nil) the scenario's
+// RF nodes first get their cell's collision probability stamped on; the
+// scenario's own RNG discipline is untouched, so a coupled and an
+// uncoupled sweep of the same fleet seed explore the identical
+// population and differ only in interference.
+//
+// The hot path is allocation-free in steady state: the scratch RNG is
+// reseeded (identical stream to a freshly constructed one), the
+// interference stamp reuses the scratch node buffer, and the kernel
+// arena is Reset instead of rebuilt. Seeding is unchanged from the
+// fresh-everything formulation, so fingerprints are bit-identical.
+func (f *Fleet) runWearer(w int, loads *phase1, sc *workerScratch, out *wearerOut) error {
+	rng := sc.rng
+	if f.freshKernels {
+		rng = rand.New(rand.NewSource(desim.DeriveSeed(f.Seed, 2*uint64(w))))
+	} else {
+		rng.Seed(desim.DeriveSeed(f.Seed, 2*uint64(w)))
+	}
 	cfg, err := f.Scenario(w, rng)
 	if err != nil {
-		return wearerOut{}, err
+		return err
 	}
-	out := wearerOut{cell: -1}
+	out.cell, out.foreignPPM, out.eqForeignPPM, out.iters = -1, 0, 0, 0
 	if loads != nil {
-		out.cell, out.foreignPPM, out.eqForeignPPM, out.iters = f.applyInterference(w, &cfg, loads)
+		out.cell, out.foreignPPM, out.eqForeignPPM, out.iters = f.applyInterference(w, &cfg, loads, sc)
 	}
 	cfg.Seed = desim.DeriveSeed(f.Seed, 2*uint64(w)+1)
-	sim, err := bannet.NewSim(cfg)
-	if err != nil {
-		return wearerOut{}, err
+	if f.freshKernels {
+		sim, err := bannet.NewSim(cfg)
+		if err != nil {
+			return err
+		}
+		rep, err := sim.Run(f.Span)
+		if err != nil {
+			return err
+		}
+		out.rep = *rep
+		out.rep.Schedule = nil // pool buffers must not pin kernel arenas
+		return nil
 	}
-	out.rep, err = sim.Run(f.Span)
-	return out, err
+	if sc.sim == nil {
+		if sc.sim, err = bannet.NewSim(cfg); err != nil {
+			return err
+		}
+	} else if err = sc.sim.Reset(cfg); err != nil {
+		return err
+	}
+	return sc.sim.RunInto(f.Span, &out.rep)
 }

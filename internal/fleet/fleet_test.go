@@ -17,9 +17,10 @@ import (
 	"wiban/internal/units"
 )
 
-// testFleet is a population sweep sized to finish in well under a second.
-func testFleet(wearers, workers int, seed int64) *Fleet {
-	gen := &Generator{
+// testGenerator is the stock perturbed population the fleet tests and
+// benchmarks sweep.
+func testGenerator() *Generator {
+	return &Generator{
 		Base:          DefaultBase(),
 		PERSpread:     0.5,
 		BatterySpread: 0.3,
@@ -27,10 +28,14 @@ func testFleet(wearers, workers int, seed int64) *Fleet {
 		DropNodeProb:  0.25,
 		BLEFraction:   0.25,
 	}
+}
+
+// testFleet is a population sweep sized to finish in well under a second.
+func testFleet(wearers, workers int, seed int64) *Fleet {
 	return &Fleet{
 		Wearers:  wearers,
 		Seed:     seed,
-		Scenario: gen.Scenario(),
+		Scenario: testGenerator().Scenario(),
 		Span:     30 * units.Second,
 		Workers:  workers,
 	}

@@ -9,6 +9,7 @@ import (
 	"wiban/internal/isa"
 	"wiban/internal/radio"
 	"wiban/internal/sensors"
+	"wiban/internal/spectrum"
 	"wiban/internal/units"
 )
 
@@ -96,6 +97,42 @@ func spread(rng *rand.Rand, s float64) float64 {
 	return 1 + s*(2*rng.Float64()-1)
 }
 
+// nodeDraw is the fixed per-node random draw block. Scenario and
+// LoadScenario both consume it through drawNode, so the two paths drain
+// the wearer's RNG stream identically by construction — the invariant
+// that lets the coupled engine's phase 1 skip full config assembly. The
+// block is drawn for every base node, dropped or not, so RNG consumption
+// never depends on which nodes happen to remain.
+type nodeDraw struct {
+	drop        bool
+	perScale    float64
+	battScale   float64
+	harvestRoll float64
+	harvestPick int
+}
+
+// drawNode drains one node's draw block from the wearer RNG; harvestN is
+// the harvester-catalog size.
+func (g *Generator) drawNode(rng *rand.Rand, harvestN int) nodeDraw {
+	var d nodeDraw
+	d.drop = rng.Float64() < g.DropNodeProb
+	d.perScale = spread(rng, g.PERSpread)
+	d.battScale = spread(rng, g.BatterySpread)
+	d.harvestRoll = rng.Float64()
+	d.harvestPick = rng.Intn(harvestN)
+	return d
+}
+
+// bleFor returns the BLE fallback radio if the node's stream fits it,
+// else the node's base radio — the effective-radio rule both the full
+// scenario and the load pass apply.
+func bleFor(base *bannet.NodeConfig, ble *radio.Transceiver) *radio.Transceiver {
+	if base.Policy.OutputRate(base.Sensor.DataRate()) <= ble.Goodput {
+		return ble
+	}
+	return base.Radio
+}
+
 // Scenario compiles the generator into the engine's scenario function.
 // Validation happens once here, not per wearer; an invalid generator
 // yields a scenario that fails on first use.
@@ -104,39 +141,31 @@ func (g *Generator) Scenario() Scenario {
 		return func(int, *rand.Rand) (bannet.Config, error) { return bannet.Config{}, err }
 	}
 	harvesters := energy.Harvesters()
+	ble := radio.BLE42() // one shared read-only transceiver, not one per node visit
 	return func(wearer int, rng *rand.Rand) (bannet.Config, error) {
 		cfg := g.Base // shallow copy; Nodes rebuilt below
-		cfg.Nodes = nil
+		cfg.Nodes = make([]bannet.NodeConfig, 0, len(g.Base.Nodes))
 		useBLE := rng.Float64() < g.BLEFraction
-		for i, base := range g.Base.Nodes {
+		for i := range g.Base.Nodes {
+			base := &g.Base.Nodes[i]
 			// Device mix: keep the first node, drop later ones at random.
-			// The coin is flipped for every node so the RNG consumption —
-			// and therefore everything downstream — does not depend on
-			// which nodes happen to remain.
-			drop := rng.Float64() < g.DropNodeProb
-			per := units.Clamp(base.PER*spread(rng, g.PERSpread), 0, 0.5)
-			battScale := spread(rng, g.BatterySpread)
-			harvestRoll := rng.Float64()
-			harvestPick := rng.Intn(len(harvesters))
-			if i > 0 && drop {
+			d := g.drawNode(rng, len(harvesters))
+			if i > 0 && d.drop {
 				continue
 			}
 
-			nc := base // copy; the shared Sensor/Policy pointers stay read-only
-			nc.PER = per
+			nc := *base // copy; the shared Sensor/Policy pointers stay read-only
+			nc.PER = units.Clamp(base.PER*d.perScale, 0, 0.5)
 			if useBLE {
-				ble := radio.BLE42()
-				if nc.Policy.OutputRate(nc.Sensor.DataRate()) <= ble.Goodput {
-					nc.Radio = ble
-				}
+				nc.Radio = bleFor(base, ble)
 			}
 			if g.BatterySpread > 0 && nc.Battery != nil {
 				batt := *nc.Battery // clone before scaling a shared cell
-				batt.CapacityMAh *= battScale
+				batt.CapacityMAh *= d.battScale
 				nc.Battery = &batt
 			}
-			if nc.Harvester == nil && harvestRoll < g.HarvesterProb {
-				nc.Harvester = harvesters[harvestPick]
+			if nc.Harvester == nil && d.harvestRoll < g.HarvesterProb {
+				nc.Harvester = harvesters[d.harvestPick]
 			}
 			if g.DrainBattery {
 				nc.DrainBattery = true
@@ -144,6 +173,42 @@ func (g *Generator) Scenario() Scenario {
 			cfg.Nodes = append(cfg.Nodes, nc)
 		}
 		return cfg, nil
+	}
+}
+
+// LoadScenario compiles the generator into the coupled engine's phase-1
+// fast path: the same RNG draws and node-survival decisions as Scenario,
+// but only the radiative offered loads come out — no node structs, no
+// battery clones, no allocation at all. Wire it to Fleet.Loads next to
+// Scenario; TestLoadScenarioMatchesScenario pins the equivalence.
+func (g *Generator) LoadScenario() LoadScenario {
+	if err := g.Validate(); err != nil {
+		return func(_ int, _ *rand.Rand, dst []spectrum.NodeLoad) ([]spectrum.NodeLoad, error) {
+			return dst, err
+		}
+	}
+	harvestN := len(energy.Harvesters())
+	ble := radio.BLE42()
+	return func(wearer int, rng *rand.Rand, dst []spectrum.NodeLoad) ([]spectrum.NodeLoad, error) {
+		useBLE := rng.Float64() < g.BLEFraction
+		for i := range g.Base.Nodes {
+			base := &g.Base.Nodes[i]
+			d := g.drawNode(rng, harvestN)
+			if i > 0 && d.drop {
+				continue
+			}
+			r := base.Radio
+			if useBLE {
+				r = bleFor(base, ble)
+			}
+			// PER, battery and harvester perturbations never move a
+			// node's offered airtime, so the draws above are consumed
+			// and discarded.
+			if ppm, ok := offeredPPMWith(base, r); ok {
+				dst = append(dst, spectrum.NodeLoad{BasePPM: ppm, Retries: base.MaxRetries})
+			}
+		}
+		return dst, nil
 	}
 }
 

@@ -15,6 +15,14 @@ import (
 // needs no locking; a Sink error aborts the sweep. Both the streaming
 // aggregator and the telemetry store's Writer are Sinks, and Tee fans one
 // stream into several.
+//
+// Records are borrowed until Consume returns: the engine reuses the
+// record's storage — in particular rec.Nodes' backing array — for the
+// next wearer, so a Sink that keeps any slice-typed field past the call
+// must copy it. Scalar fields may be copied freely. StreamAggregator
+// folds everything it needs during the call, and telemetry.Writer copies
+// the node slice into its block arena; a custom Sink must follow the
+// same discipline.
 type Sink interface {
 	Consume(rec telemetry.Record) error
 }
@@ -41,21 +49,32 @@ func Tee(sinks ...Sink) Sink {
 // RecordOf flattens one wearer's simulation report into its telemetry
 // record — exactly the fields fleet aggregation consumes, with durations
 // in seconds. The spectrum placement defaults to the uncoupled sentinel
-// (cell −1); the engine's Stream overwrites it on coupled sweeps.
+// (cell −1); the engine's Stream overwrites it on coupled sweeps. The
+// returned record owns its storage; the engine's hot path uses
+// recordInto to reuse one buffer instead.
 func RecordOf(wearer int, r *bannet.Report) telemetry.Record {
-	rec := telemetry.Record{
-		Wearer:         wearer,
-		Events:         r.Events,
-		HubRxBits:      r.HubRxBits,
-		HubUtilization: r.HubUtilization,
-		Cell:           -1,
-	}
-	if len(r.Nodes) > 0 {
-		rec.Nodes = make([]telemetry.NodeRecord, len(r.Nodes))
-	}
+	var rec telemetry.Record
+	recordInto(&rec, wearer, r)
+	return rec
+}
+
+// recordInto is the allocation-free form of RecordOf: it overwrites
+// every field of rec, reusing rec.Nodes' capacity. The engine calls it
+// with one long-lived record per sweep — the Sink borrow-until-return
+// contract exists exactly so this reuse is sound.
+func recordInto(rec *telemetry.Record, wearer int, r *bannet.Report) {
+	rec.Wearer = wearer
+	rec.Events = r.Events
+	rec.HubRxBits = r.HubRxBits
+	rec.HubUtilization = r.HubUtilization
+	rec.Cell = -1
+	rec.ForeignLoadPPM = 0
+	rec.EqForeignLoadPPM = 0
+	rec.FeedbackIters = 0
+	rec.Nodes = rec.Nodes[:0]
 	for i := range r.Nodes {
 		n := &r.Nodes[i]
-		rec.Nodes[i] = telemetry.NodeRecord{
+		rec.Nodes = append(rec.Nodes, telemetry.NodeRecord{
 			PacketsGenerated: n.PacketsGenerated,
 			PacketsDelivered: n.PacketsDelivered,
 			PacketsDropped:   n.PacketsDropped,
@@ -66,9 +85,8 @@ func RecordOf(wearer int, r *bannet.Report) telemetry.Record {
 			LatencyP99:       float64(n.LatencyP99),
 			Perpetual:        n.Perpetual,
 			Died:             n.Died,
-		}
+		})
 	}
-	return rec
 }
 
 // StreamAggregator folds a stream of wearer records into a fleet Report

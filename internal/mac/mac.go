@@ -7,9 +7,10 @@
 package mac
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"wiban/internal/units"
 )
@@ -67,28 +68,41 @@ type Schedule struct {
 
 // Build sizes one slot per demand and lays them out after the beacon.
 // Demands are laid out in NodeID order for determinism. It returns an
-// error if the demands do not fit the superframe.
+// error if the demands do not fit the superframe. The caller's demand
+// slice is not modified; a reusable driver that owns its demand buffer
+// can avoid both copies with BuildInto.
 func (t *TDMA) Build(demands []Demand) (*Schedule, error) {
-	if t.Superframe <= 0 || t.LinkRate <= 0 {
-		return nil, fmt.Errorf("mac: invalid TDMA parameters")
-	}
 	sorted := append([]Demand(nil), demands...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].NodeID < sorted[j].NodeID })
-	for i := 1; i < len(sorted); i++ {
-		if sorted[i].NodeID == sorted[i-1].NodeID {
-			return nil, fmt.Errorf("mac: duplicate node id %d", sorted[i].NodeID)
+	s := &Schedule{}
+	if err := t.BuildInto(sorted, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// BuildInto is the allocation-free form of Build: it sorts demands in
+// place (callers hand over ownership of the slice for the call) and
+// rebuilds s, reusing its Slots capacity. On error s is left in an
+// unspecified state and must not be used as a schedule.
+func (t *TDMA) BuildInto(demands []Demand, s *Schedule) error {
+	if t.Superframe <= 0 || t.LinkRate <= 0 {
+		return fmt.Errorf("mac: invalid TDMA parameters")
+	}
+	slices.SortFunc(demands, func(a, b Demand) int { return cmp.Compare(a.NodeID, b.NodeID) })
+	for i := 1; i < len(demands); i++ {
+		if demands[i].NodeID == demands[i-1].NodeID {
+			return fmt.Errorf("mac: duplicate node id %d", demands[i].NodeID)
 		}
 	}
 
-	s := &Schedule{
-		Superframe: t.Superframe,
-		BeaconTime: t.LinkRate.TimeFor(float64(t.BeaconBits)),
-		LinkRate:   t.LinkRate,
-	}
+	s.Superframe = t.Superframe
+	s.BeaconTime = t.LinkRate.TimeFor(float64(t.BeaconBits))
+	s.LinkRate = t.LinkRate
+	s.Slots = s.Slots[:0]
 	cursor := s.BeaconTime + t.Guard
-	for _, d := range sorted {
+	for _, d := range demands {
 		if d.Rate < 0 || d.PacketBits <= 0 {
-			return nil, fmt.Errorf("mac: invalid demand for node %d", d.NodeID)
+			return fmt.Errorf("mac: invalid demand for node %d", d.NodeID)
 		}
 		// Bits owed per superframe, rounded up to whole packets.
 		bits := float64(d.Rate) * float64(t.Superframe)
@@ -104,9 +118,9 @@ func (t *TDMA) Build(demands []Demand) (*Schedule, error) {
 		cursor += length + t.Guard
 	}
 	if cursor > t.Superframe {
-		return nil, fmt.Errorf("mac: demands need %v, superframe is %v", cursor, t.Superframe)
+		return fmt.Errorf("mac: demands need %v, superframe is %v", cursor, t.Superframe)
 	}
-	return s, nil
+	return nil
 }
 
 // Validate checks slot disjointness and containment — the invariant the
