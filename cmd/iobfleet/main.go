@@ -10,6 +10,7 @@
 //	iobfleet -wearers 500 -ble-frac 0.5 -drain       # half the fleet on BLE, live batteries
 //	iobfleet -wearers 1000000 -out sweep.wtl         # stream records to a telemetry store
 //	iobfleet -wearers 1000000 -out sweep.wtl -resume # continue a killed sweep
+//	iobfleet -wearers 1000 -series 1 -out sweep.wtl  # sample per-node time series at 1 s cadence
 //	iobfleet -wearers 1000 -cells 50 -ble-frac 0.5   # spectrum-coupled: 20 wearers/cell
 //	iobfleet -wearers 1000 -density 40 -ble-frac 1   # same, by target wearers-per-cell
 //	iobfleet -wearers 1000 -density 40 -feedback     # equilibrium interference (retry feedback)
@@ -46,6 +47,14 @@
 // without -feedback, output is bit-identical to the first-order engine
 // and existing v1 stores resume unchanged.
 //
+// -series samples every node's in-run state — battery charge, queue
+// depth, per-window link PER and collision rate — at the given cadence
+// (clamped up to the TDMA superframe) and persists the samples in the
+// store's v3 series frames, queryable with iobtrace query. Sampling adds
+// no kernel events and draws no randomness, so the report, fingerprint
+// and every determinism contract are unchanged; without -series the
+// store stays byte-identical to the previous (v2) format.
+//
 // With -out, every wearer's record is also appended to a telemetry store
 // (block-compressed, CRC-protected, checkpointed — see
 // wiban/internal/telemetry). If the sweep is killed, rerunning with
@@ -73,10 +82,11 @@ import (
 // adoptVersion picks the store format a -resume continues in: the
 // store's own (older) format when it can still represent the requested
 // sweep — uncoupled runs read any version, coupled runs need the v1
-// cell columns, feedback runs the v2 equilibrium columns — and the
-// current format otherwise, so the meta equality guard surfaces the
-// mismatch instead of the writer silently dropping columns.
-func adoptVersion(storeVersion, cells int, feedback bool) int {
+// cell columns, feedback runs the v2 equilibrium columns, series
+// sampling the v3 series frames — and the current format otherwise, so
+// the meta equality guard surfaces the mismatch instead of the writer
+// silently dropping columns.
+func adoptVersion(storeVersion, cells int, feedback, series bool) int {
 	needed := telemetry.FormatV0
 	if cells > 0 {
 		needed = telemetry.FormatV1
@@ -84,10 +94,24 @@ func adoptVersion(storeVersion, cells int, feedback bool) int {
 	if feedback {
 		needed = telemetry.FormatV2
 	}
+	if series {
+		needed = telemetry.FormatV3
+	}
 	if storeVersion >= needed {
 		return storeVersion
 	}
 	return telemetry.CurrentFormat
+}
+
+// newVersion picks the store format for a freshly created store: the v3
+// series frames only when the sweep samples series, and otherwise
+// exactly the format the previous release wrote — a series-off sweep
+// must produce a byte-identical store, not a gratuitous v3 one.
+func newVersion(series bool) int {
+	if series {
+		return telemetry.FormatV3
+	}
+	return telemetry.FormatV2
 }
 
 // cellsForDensity derives the cell count hitting a target wearers-per-
@@ -121,6 +145,8 @@ func main() {
 		feedback = flag.Bool("feedback", false, "close the collision→retry→offered-load loop (fixed-point phase 1; needs -cells or -density)")
 		maxIters = flag.Int("max-iters", spectrum.DefaultMaxIters, "feedback fixed-point iteration cap per cell (≥ 1)")
 		tolPPM   = flag.Int64("tol", spectrum.DefaultTolPPM, "feedback fixed-point convergence tolerance in PPM (≥ 1)")
+
+		seriesSec = flag.Float64("series", 0, "sample every node's in-run state at this cadence in simulated seconds (0 = off; stores become format v3)")
 
 		outPath   = flag.String("out", "", "stream per-wearer records to a telemetry store at this path")
 		resume    = flag.Bool("resume", false, "resume the interrupted sweep checkpointed in -out")
@@ -190,6 +216,10 @@ func main() {
 	} else if *cells < 0 {
 		fail(2, "negative cell count %d", *cells)
 	}
+	if *seriesSec < 0 || math.IsNaN(*seriesSec) {
+		fail(2, "negative series cadence %v", *seriesSec)
+	}
+	f.Series = units.Duration(*seriesSec)
 	if *resume && *outPath == "" {
 		fail(2, "-resume requires -out")
 	}
@@ -204,9 +234,11 @@ func main() {
 			SpanSeconds: float64(f.Span),
 			Scenario:    scenarioTag,
 			BlockSize:   *blockSize,
-			Version:     telemetry.CurrentFormat,
+			Version:     newVersion(*seriesSec > 0),
 			Cells:       *cells,
 			Feedback:    *feedback && *cells > 0,
+
+			SeriesCadenceSeconds: *seriesSec,
 		}
 		var err error
 		if *resume {
@@ -215,7 +247,7 @@ func main() {
 			}
 			got := store.Meta()
 			meta.BlockSize = got.BlockSize // block size is the store's to keep
-			meta.Version = adoptVersion(got.Version, *cells, meta.Feedback)
+			meta.Version = adoptVersion(got.Version, *cells, meta.Feedback, *seriesSec > 0)
 			if got != meta {
 				store.Abort()
 				fail(2, "resume flags describe a different sweep than %s:\n  store: %+v\n  flags: %+v", *outPath, got, meta)

@@ -386,18 +386,22 @@ func TestResumeAdoptsOlderStoreVersion(t *testing.T) {
 	for _, c := range []struct {
 		store, cells int
 		feedback     bool
+		series       bool
 		want         int
 	}{
-		{telemetry.FormatV0, 0, false, telemetry.FormatV0},
-		{telemetry.FormatV1, 0, false, telemetry.FormatV1},
-		{telemetry.FormatV1, 4, false, telemetry.FormatV1},
-		{telemetry.FormatV1, 4, true, telemetry.CurrentFormat}, // mismatch → guard will refuse
-		{telemetry.FormatV2, 4, true, telemetry.FormatV2},
-		{telemetry.FormatV0, 4, false, telemetry.CurrentFormat}, // v0 cannot hold cells
+		{telemetry.FormatV0, 0, false, false, telemetry.FormatV0},
+		{telemetry.FormatV1, 0, false, false, telemetry.FormatV1},
+		{telemetry.FormatV1, 4, false, false, telemetry.FormatV1},
+		{telemetry.FormatV1, 4, true, false, telemetry.CurrentFormat}, // mismatch → guard will refuse
+		{telemetry.FormatV2, 4, true, false, telemetry.FormatV2},
+		{telemetry.FormatV0, 4, false, false, telemetry.CurrentFormat}, // v0 cannot hold cells
+		{telemetry.FormatV2, 0, false, true, telemetry.CurrentFormat},  // v2 cannot hold series
+		{telemetry.FormatV3, 0, false, true, telemetry.FormatV3},
+		{telemetry.FormatV3, 4, true, true, telemetry.FormatV3},
 	} {
-		if got := adoptVersion(c.store, c.cells, c.feedback); got != c.want {
-			t.Errorf("store v%d cells=%d feedback=%t: adopted v%d, want v%d",
-				c.store, c.cells, c.feedback, got, c.want)
+		if got := adoptVersion(c.store, c.cells, c.feedback, c.series); got != c.want {
+			t.Errorf("store v%d cells=%d feedback=%t series=%t: adopted v%d, want v%d",
+				c.store, c.cells, c.feedback, c.series, got, c.want)
 		}
 	}
 

@@ -9,6 +9,8 @@
 //	iobtrace report sweep.wtl             # re-derive the aggregate report
 //	iobtrace cells  sweep.wtl             # per-cell interference report
 //	iobtrace wearer -w 123 sweep.wtl      # dump one wearer's record
+//	iobtrace query -metric charge -agg p10 sweep.wtl          # aggregate the time series
+//	iobtrace query -metric per -from 100 -to 200 -cell 3 -agg avg sweep.wtl
 //
 // `report` replays the stored records through the same streaming
 // aggregator the live sweep used, so its fingerprint matches the one
@@ -24,6 +26,19 @@
 // -feedback, format v2) it adds the equilibrium retry-inflated load next
 // to the first-order one plus each cell's fixed-point iteration count,
 // while pre-feedback stores keep the original columns.
+//
+// `query` aggregates the per-node time series of a series-enabled store
+// (iobfleet -series, format v3). -metric picks the sampled column
+// (charge, queue, per, collisions), -from/-to bound the sample time in
+// simulated seconds (inclusive; -to 0 leaves the range open), -cell and
+// -node restrict the population (-1 matches all), and -agg picks the
+// aggregation: sum, avg, count, min, max or pNN for an exact percentile
+// (e.g. p99). A completely written store is queried through its trailing
+// block index, so narrow time or cell ranges read only the overlapping
+// blocks; a store whose index is missing (killed mid-sweep) degrades to
+// a sequential scan. NaN samples — windows in which a node never
+// transmitted — are reported as excluded gaps, never folded into the
+// aggregate.
 package main
 
 import (
@@ -32,6 +47,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"strconv"
 
 	"wiban/internal/channel"
 	"wiban/internal/compress"
@@ -41,7 +57,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: iobtrace <info|verify|report|cells|wearer> [flags] <store.wtl>\n")
+	fmt.Fprintf(os.Stderr, "usage: iobtrace <info|verify|report|cells|wearer|query> [flags] <store.wtl>\n")
 	os.Exit(2)
 }
 
@@ -68,6 +84,8 @@ func main() {
 		err = withStore(cmd, args, func(fs *flag.FlagSet) {
 			fs.IntVar(&w, "w", 0, "wearer index to dump")
 		}, telemetry.Open, func(r *telemetry.Reader) error { return wearer(r, w) })
+	case "query":
+		err = query(args)
 	default:
 		usage()
 	}
@@ -128,10 +146,21 @@ func info(r *telemetry.Reader) error {
 		}
 		fmt.Printf("  spectrum:    coupled, %d cells, %s (format v%d)\n", m.Cells, mode, m.Version)
 	}
+	if m.Series() {
+		fmt.Printf("  series:      %gs cadence, %d samples (format v%d)\n",
+			m.SeriesCadenceSeconds, r.SeriesPoints(), m.Version)
+	}
 	fmt.Printf("  checkpoint:  valid=%t  complete=%t\n", r.Checkpointed(), n == m.Wearers)
+	if n == 0 {
+		// No committed records: there is nothing to compress, so the usual
+		// ratio line would misreport "0.00x compression" for a perfectly
+		// healthy header-only store.
+		fmt.Printf("  size:        %d bytes on disk (header only, no committed records)\n", r.StoredBytes())
+		return nil
+	}
 	fmt.Printf("  size:        %d bytes on disk, %d raw (%.2fx compression, %.1f B/wearer)\n",
 		r.StoredBytes(), r.RawBytes(),
-		compress.Ratio(int(r.RawBytes()), int(r.StoredBytes())), float64(r.StoredBytes())/float64(max(n, 1)))
+		compress.Ratio(int(r.RawBytes()), int(r.StoredBytes())), float64(r.StoredBytes())/float64(n))
 	return nil
 }
 
@@ -216,6 +245,57 @@ func cells(r *telemetry.Reader) error {
 				path.CongestionLossDB(busy), c.MeanDelivery, c.Died)
 		}
 	}
+	return nil
+}
+
+// query aggregates a series-enabled store's samples; unlike the other
+// subcommands it drives telemetry.QueryStore by path so the block index
+// can prune the read set instead of streaming every record.
+func query(args []string) error {
+	fs := flag.NewFlagSet("iobtrace query", flag.ExitOnError)
+	metric := fs.String("metric", "charge", "series column: charge, queue, per or collisions")
+	from := fs.Float64("from", 0, "inclusive lower sample-time bound in simulated seconds")
+	to := fs.Float64("to", 0, "inclusive upper sample-time bound in simulated seconds (0 = open)")
+	cell := fs.Int("cell", -1, "restrict to wearers in this spectrum cell (-1 = all)")
+	node := fs.Int("node", -1, "restrict to this node index within each wearer (-1 = all)")
+	agg := fs.String("agg", "avg", "aggregation: sum, avg, count, min, max or pNN (exact percentile)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	stats, err := telemetry.QueryStore(fs.Arg(0), telemetry.Query{
+		Metric: *metric,
+		FromMS: int64(math.Round(*from * 1000)),
+		ToMS:   int64(math.Round(*to * 1000)),
+		Cell:   *cell,
+		Node:   *node,
+	})
+	if err != nil {
+		return err
+	}
+	var val float64
+	switch {
+	case *agg == "sum":
+		val = stats.Sum
+	case *agg == "avg":
+		val = stats.Mean()
+	case *agg == "count":
+		val = float64(stats.Points)
+	case *agg == "min":
+		val = stats.Min
+	case *agg == "max":
+		val = stats.Max
+	case len(*agg) > 1 && (*agg)[0] == 'p':
+		pct, perr := strconv.ParseFloat((*agg)[1:], 64)
+		if perr != nil || pct < 0 || pct > 100 {
+			return fmt.Errorf("bad percentile %q (want p0..p100)", *agg)
+		}
+		val = stats.Percentile(pct)
+	default:
+		return fmt.Errorf("unknown aggregation %q (want sum, avg, count, min, max or pNN)", *agg)
+	}
+	fmt.Printf("%s(%s) = %g\n", *agg, *metric, val)
+	fmt.Printf("  samples: %d matched, %d gap windows excluded\n", stats.Points, stats.Gaps)
 	return nil
 }
 

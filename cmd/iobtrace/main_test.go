@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"io"
 	"os"
 	"os/exec"
@@ -303,6 +304,143 @@ func writeCoupledStore(t *testing.T, version int, feedback bool) string {
 		t.Fatal(err)
 	}
 	return path
+}
+
+// runCLI re-execs this test binary as the real iobtrace command and
+// returns its process exit code plus combined output.
+func runCLI(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	bin, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Env = append(os.Environ(), "IOBTRACE_RUN_MAIN=1")
+	var out strings.Builder
+	cmd.Stdout, cmd.Stderr = &out, &out
+	err = cmd.Run()
+	if err == nil {
+		return 0, out.String()
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatal(err)
+	}
+	return ee.ExitCode(), out.String()
+}
+
+// TestHeaderOnlyStoreExitCodes pins the header-only contract end to end:
+// a store holding a valid header but zero committed blocks must pass
+// verify and info with exit 0, info must say so in words, and the old
+// "0.00x compression" misreport must stay gone.
+func TestHeaderOnlyStoreExitCodes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "header-only.wtl")
+	w, err := telemetry.Create(path, telemetry.Meta{
+		FleetSeed: 3, Wearers: 12, SpanSeconds: 5,
+		Version: telemetry.CurrentFormat, BlockSize: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if code, out := runCLI(t, "verify", path); code != 0 {
+		t.Fatalf("verify of a header-only store exited %d:\n%s", code, out)
+	}
+	code, out := runCLI(t, "info", path)
+	if code != 0 {
+		t.Fatalf("info of a header-only store exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "header only, no committed records") {
+		t.Errorf("info did not flag the header-only store:\n%s", out)
+	}
+	if strings.Contains(out, "0.00x") {
+		t.Errorf("info still misreports compression on an empty store:\n%s", out)
+	}
+}
+
+// writeSeriesSweep streams a miniature series-sampling fleet into a v3
+// store and returns its path.
+func writeSeriesSweep(t *testing.T) string {
+	t.Helper()
+	gen := &fleet.Generator{Base: fleet.DefaultBase(), PERSpread: 0.5, BatterySpread: 0.3}
+	if err := gen.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f := &fleet.Fleet{
+		Wearers: 30, Seed: 7, Scenario: gen.Scenario(),
+		Span: 5 * units.Second, Workers: 2,
+		Series: units.Second / 2,
+	}
+	path := filepath.Join(t.TempDir(), "series.wtl")
+	store, err := telemetry.Create(path, telemetry.Meta{
+		FleetSeed: f.Seed, Wearers: f.Wearers, SpanSeconds: float64(f.Span),
+		Scenario: gen.Tag(), BlockSize: 8,
+		Version: telemetry.FormatV3, SeriesCadenceSeconds: float64(f.Series),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Stream(store); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestQueryCommand pins the real query subcommand: exit 0 and a value
+// matching the library on a series store, exit non-zero with a directed
+// message on a store that was swept without sampling.
+func TestQueryCommand(t *testing.T) {
+	path := writeSeriesSweep(t)
+
+	want, err := telemetry.QueryStore(path, telemetry.Query{
+		Metric: "charge", FromMS: 1000, ToMS: 4000, Cell: -1, Node: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Points == 0 {
+		t.Fatal("series sweep produced no samples in the query window")
+	}
+	code, out := runCLI(t, "query", "-metric", "charge",
+		"-from", "1", "-to", "4", "-agg", "avg", path)
+	if code != 0 {
+		t.Fatalf("query exited %d:\n%s", code, out)
+	}
+	if wantLine := fmt.Sprintf("avg(charge) = %g", want.Mean()); !strings.Contains(out, wantLine) {
+		t.Errorf("query output missing %q:\n%s", wantLine, out)
+	}
+	if wantLine := fmt.Sprintf("samples: %d matched", want.Points); !strings.Contains(out, wantLine) {
+		t.Errorf("query output missing %q:\n%s", wantLine, out)
+	}
+
+	if code, out := runCLI(t, "query", "-agg", "p95", "-metric", "queue", path); code != 0 {
+		t.Fatalf("percentile query exited %d:\n%s", code, out)
+	} else if !strings.Contains(out, "p95(queue) = ") {
+		t.Errorf("percentile query output malformed:\n%s", out)
+	}
+
+	// Info on the same store surfaces the series cadence and sample count.
+	if code, out := runCLI(t, "info", path); code != 0 {
+		t.Fatalf("info on series store exited %d:\n%s", code, out)
+	} else if !strings.Contains(out, "series:") || !strings.Contains(out, "cadence") {
+		t.Errorf("info on a series store omitted the series line:\n%s", out)
+	}
+
+	// A store swept without sampling is refused with a directed message.
+	off, _ := writeSweep(t)
+	code, out = runCLI(t, "query", "-metric", "charge", off)
+	if code == 0 {
+		t.Fatalf("query exited 0 on a series-off store:\n%s", out)
+	}
+	if !strings.Contains(out, "no series") {
+		t.Errorf("series-off refusal lacks a directed message:\n%s", out)
+	}
 }
 
 // TestCellsColumnsByFormat pins the real command's rendering across

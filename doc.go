@@ -57,9 +57,15 @@
 //     killed million-wearer sweep resumes from its last committed block
 //     (iobfleet -out/-resume) and re-derives a bit-identical
 //     fingerprint; format v1 stores each wearer's cell and foreign load
-//     so coupled sweeps replay exactly, and format v2 adds the
-//     equilibrium load and fixed-point iteration columns feedback
-//     sweeps replay from;
+//     so coupled sweeps replay exactly, format v2 adds the equilibrium
+//     load and fixed-point iteration columns feedback sweeps replay
+//     from, and format v3 adds kinded frames: per-node in-run time
+//     series (battery charge, queue depth, link PER, collision rate,
+//     sampled on the TDMA superframe tick by bannet.Sim.SetSeries
+//     without perturbing the simulation — iobfleet -series) compressed
+//     with delta-of-delta timestamps and XOR floats, plus a trailing
+//     label index that iobtrace query prunes with when aggregating a
+//     metric over a time/cell/node range;
 //   - internal/figures — generators for every figure and table in the
 //     paper (also exposed through cmd/iobfig and the root benchmarks).
 //

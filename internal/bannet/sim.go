@@ -75,6 +75,11 @@ type nodeState struct {
 	battState *energy.State
 	dead      bool
 	diedAt    desim.Time
+	// Series sampling window: attempts since the last sample, how many
+	// failed, and how many of those failures were collision-attributed.
+	winAttempts   int64
+	winFails      int64
+	winCollisions int64
 }
 
 // init rebinds the state to a node configuration and resets it. Every
@@ -110,6 +115,9 @@ func (st *nodeState) reset() {
 	}
 	st.dead = false
 	st.diedAt = 0
+	st.winAttempts = 0
+	st.winFails = 0
+	st.winCollisions = 0
 }
 
 // continuousPower is the node's always-on draw: sensing, ISA compute and
@@ -199,6 +207,16 @@ type Sim struct {
 	genFns  []func()
 	harvFns []func()
 	frameFn func()
+
+	// Series sampling (SetSeries). The configuration survives Reset; the
+	// cursors are rearmed per run and seriesBuf is the reused sample arena
+	// handed to the sink, keeping the steady state allocation-free.
+	seriesEvery units.Duration
+	seriesSink  SeriesSink
+	seriesStep  desim.Time
+	seriesNext  desim.Time
+	seriesLast  desim.Time
+	seriesBuf   []SeriesSample
 }
 
 // NewSim validates the configuration, builds the TDMA schedule and
@@ -334,6 +352,14 @@ func (s *Sim) harvTick(i int) {
 // slot capacity with PER-driven retries.
 func (s *Sim) frameTick() {
 	kern, report := s.kern, s.rep
+	// Series sampling rides the superframe event rather than its own
+	// kernel event: the sample reflects the state left by the previous
+	// frame, and the event count the Report fingerprints stays identical
+	// with sampling on or off.
+	if s.seriesSink != nil && kern.Now() >= s.seriesNext {
+		s.emitSeries(kern.Now())
+		s.seriesNext += s.seriesStep
+	}
 	beaconTime := float64(s.schedule.BeaconTime)
 	for i := range s.states {
 		st := &s.states[i]
@@ -366,7 +392,14 @@ func (s *Sim) frameTick() {
 			st.stats.TxEnergy += txE
 			st.airTime += air
 			st.stats.Transmissions++
-			if kern.Rand().Float64() >= st.effPER {
+			st.winAttempts++
+			// One uniform draw decides delivery AND attributes the failure
+			// cause, keeping the RNG stream identical to the pre-series
+			// kernel: u < CollisionPER is a collision (probability cPER),
+			// CollisionPER ≤ u < effPER is link loss (probability
+			// PER·(1−cPER), exactly the residual), u ≥ effPER delivers.
+			u := kern.Rand().Float64()
+			if u >= st.effPER {
 				// Delivered.
 				lat := units.Duration((kern.Now() - p.created).Seconds())
 				st.latencies = append(st.latencies, lat)
@@ -394,6 +427,10 @@ func (s *Sim) frameTick() {
 			}
 			// Failed: selective-repeat ARQ — requeue at the back (or
 			// drop past the retry budget) and keep draining the slot.
+			st.winFails++
+			if u < st.cfg.CollisionPER {
+				st.winCollisions++
+			}
 			p.retries++
 			if p.retries > st.cfg.MaxRetries {
 				st.stats.PacketsDropped++
@@ -463,10 +500,29 @@ func (s *Sim) RunInto(span units.Duration, rep *Report) error {
 		s.kern.Periodic(desim.Second, desim.Second, s.harvFn(i))
 	}
 
+	// Arm the series cursors: first sample at the cadence (quantized up
+	// to the next superframe boundary by frameTick), last sample rearmed
+	// so the tail emission below fires at most once.
+	if s.seriesSink != nil {
+		s.seriesStep = desim.FromSeconds(float64(s.seriesEvery))
+		if s.seriesStep < s.superframe {
+			s.seriesStep = s.superframe
+		}
+		s.seriesNext = s.seriesStep
+		s.seriesLast = 0
+	}
+
 	end := desim.FromSeconds(float64(span))
 	s.kern.RunUntil(end)
 	rep.Duration = span
 	rep.Events = s.kern.Executed()
+
+	// Tail sample: close the final window at the end of the span unless a
+	// cadence sample already landed exactly there, so every run yields at
+	// least one sample per node and the books balance for short spans.
+	if s.seriesSink != nil && s.seriesLast < end {
+		s.emitSeries(end)
+	}
 
 	// Close the books: continuous power components over each node's
 	// lifespan (the full span, or until battery death).

@@ -73,6 +73,41 @@ func DecodeDeltaInts(src []byte, dst []int64) (int, error) {
 	return pos, nil
 }
 
+// AppendDelta2Ints appends vals as zigzag varints of second-order
+// differences — each element is encoded as (vᵢ−vᵢ₋₁)−(vᵢ₋₁−vᵢ₋₂), the
+// Gorilla-style delta-of-delta used for timestamps. A perfectly periodic
+// column (sampling instants at a fixed cadence) collapses to one byte
+// per element after the first two, regardless of the cadence magnitude;
+// AppendDeltaInts would pay the varint width of the cadence every time.
+func AppendDelta2Ints(dst []byte, vals []int64) []byte {
+	var prev, prevDelta int64
+	for _, v := range vals {
+		delta := v - prev
+		dst = appendUvarint(dst, zigzag(delta-prevDelta))
+		prev, prevDelta = v, delta
+	}
+	return dst
+}
+
+// DecodeDelta2Ints fills dst with len(dst) delta-of-delta-decoded values
+// from src and returns the bytes consumed, or ErrCorrupt on a truncated
+// stream.
+func DecodeDelta2Ints(src []byte, dst []int64) (int, error) {
+	var prev, prevDelta int64
+	pos := 0
+	for i := range dst {
+		u, n := uvarint(src[pos:])
+		if n == 0 {
+			return 0, ErrCorrupt
+		}
+		pos += n
+		prevDelta += unzigzag(u)
+		prev += prevDelta
+		dst[i] = prev
+	}
+	return pos, nil
+}
+
 // AppendXorFloats appends vals as varints of each value's IEEE-754 bits
 // XORed with the previous value's bits (Gorilla-style predecessor
 // prediction, varint instead of leading/trailing-zero headers). Repeated

@@ -35,6 +35,20 @@ func FuzzDeltaVarint(f *testing.F) {
 				t.Fatalf("[%d]: got %d want %d", i, dec[i], vals[i])
 			}
 		}
+		enc2 := AppendDelta2Ints(nil, vals)
+		dec2 := make([]int64, len(vals))
+		n2, err := DecodeDelta2Ints(enc2, dec2)
+		if err != nil {
+			t.Fatalf("delta2 round-trip decode failed: %v", err)
+		}
+		if n2 != len(enc2) {
+			t.Fatalf("delta2 consumed %d of %d bytes", n2, len(enc2))
+		}
+		for i := range vals {
+			if dec2[i] != vals[i] {
+				t.Fatalf("delta2 [%d]: got %d want %d", i, dec2[i], vals[i])
+			}
+		}
 
 		// Direction 2: data as a hostile encoded stream; the element
 		// count is attacker-controlled too (first byte, capped).
@@ -45,6 +59,10 @@ func FuzzDeltaVarint(f *testing.F) {
 		out := make([]int64, count)
 		if n, err := DecodeDeltaInts(data, out); err == nil && n > len(data) {
 			t.Fatalf("decoder claimed %d bytes of a %d-byte stream", n, len(data))
+		}
+		out2 := make([]int64, count)
+		if n, err := DecodeDelta2Ints(data, out2); err == nil && n > len(data) {
+			t.Fatalf("delta2 decoder claimed %d bytes of a %d-byte stream", n, len(data))
 		}
 		fout := make([]float64, count)
 		if n, err := DecodeXorFloats(data, fout); err == nil && n > len(data) {

@@ -107,6 +107,65 @@ func TestDeltaIntsRoundTrip(t *testing.T) {
 	}
 }
 
+// TestDelta2IntsRoundTrip covers the delta-of-delta codec across the same
+// adversarial shapes as the first-order codec, plus the workload it
+// exists for: perfectly periodic timestamp columns.
+func TestDelta2IntsRoundTrip(t *testing.T) {
+	cases := [][]int64{
+		nil,
+		{0},
+		{7},
+		{1, 2, 3, 4, 5},
+		{5, 4, 3, 2, 1, 0, -1, -2},
+		{0, math.MaxInt64, math.MinInt64, -1, 1},
+		{1 << 40, 1<<40 + 1, 1<<40 - 7},
+		{1000, 2000, 3000, 3000, 5000, 4999},
+	}
+	for i, vals := range cases {
+		enc := AppendDelta2Ints(nil, vals)
+		dec := make([]int64, len(vals))
+		n, err := DecodeDelta2Ints(enc, dec)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if n != len(enc) {
+			t.Errorf("case %d: consumed %d of %d bytes", i, n, len(enc))
+		}
+		for j := range vals {
+			if dec[j] != vals[j] {
+				t.Fatalf("case %d[%d]: got %d want %d", i, j, dec[j], vals[j])
+			}
+		}
+	}
+	// The point of second-order deltas: a fixed-cadence timestamp column
+	// costs one byte per element after the ramp is established, even when
+	// the cadence itself needs a wide varint every sample under
+	// first-order deltas.
+	stamps := make([]int64, 1000)
+	for i := range stamps {
+		stamps[i] = int64(i+1) * 30_000 // 30 s cadence in ms
+	}
+	d2 := AppendDelta2Ints(nil, stamps)
+	d1 := AppendDeltaInts(nil, stamps)
+	if len(d2) > 1010 {
+		t.Errorf("periodic column: %d bytes for 1000 stamps, want ≈1 byte/stamp", len(d2))
+	}
+	if len(d2) >= len(d1) {
+		t.Errorf("delta-of-delta (%d bytes) did not beat first-order (%d bytes) on its own workload", len(d2), len(d1))
+	}
+}
+
+// TestDelta2Truncated checks the second-order decoder reports ErrCorrupt
+// on every mid-element cut.
+func TestDelta2Truncated(t *testing.T) {
+	enc := AppendDelta2Ints(nil, []int64{1 << 50, -(1 << 50), 3})
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeDelta2Ints(enc[:cut], make([]int64, 3)); err == nil {
+			t.Fatalf("cut=%d decoded", cut)
+		}
+	}
+}
+
 // TestXorFloatsRoundTrip checks exact bit-level reproduction including
 // negative zero, NaN payloads and infinities.
 func TestXorFloatsRoundTrip(t *testing.T) {

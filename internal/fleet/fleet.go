@@ -146,6 +146,16 @@ type Fleet struct {
 	// LoadScenario). Optional: phase 1 falls back to Scenario when nil.
 	// It MUST be load-equivalent to Scenario; the engine trusts it.
 	Loads LoadScenario
+	// Series, when positive, samples every node's in-run state (battery
+	// charge, queue depth, per-window link PER and collision rate) at
+	// this cadence and attaches the samples to each wearer's telemetry
+	// record (Record.Series). Sampling rides the kernel's existing
+	// superframe tick — no extra events, no RNG draws — so enabling it
+	// changes nothing about the simulated outcomes: Report fields and
+	// fleet fingerprints are identical with Series on or off. Zero (the
+	// default) disables sampling. Sinks persisting series need a
+	// telemetry store with Meta.Series() enabled (format v3).
+	Series units.Duration
 
 	// freshKernels disables the per-worker kernel arena, rebuilding a
 	// Sim (and a scenario RNG) for every wearer the way the engine did
@@ -247,6 +257,7 @@ func (f *Fleet) Stream(sink Sink) (Perf, error) {
 		rec.ForeignLoadPPM = out.foreignPPM
 		rec.EqForeignLoadPPM = out.eqForeignPPM
 		rec.FeedbackIters = out.iters
+		rec.Series = out.series
 		return sink.Consume(rec)
 	})
 }
@@ -264,6 +275,10 @@ type wearerOut struct {
 	foreignPPM   int64
 	eqForeignPPM int64
 	iters        int
+	// series holds the wearer's sampled time series when Fleet.Series is
+	// set; like rep.Nodes it is pooled storage, truncated and refilled
+	// each time the buffer carries a new wearer.
+	series []telemetry.SeriesPoint
 }
 
 // workerScratch is one worker goroutine's private reusable state: the
@@ -276,10 +291,30 @@ type workerScratch struct {
 	sim   *bannet.Sim
 	nodes []bannet.NodeConfig
 	loads []spectrum.NodeLoad
+	// out is the output buffer of the wearer currently running; sink (one
+	// closure per worker, so the per-wearer hot path allocates none)
+	// converts the kernel's borrowed sample batches into telemetry points
+	// appended to out.series.
+	out  *wearerOut
+	sink bannet.SeriesSink
 }
 
 func newWorkerScratch() *workerScratch {
-	return &workerScratch{rng: rand.New(rand.NewSource(0))}
+	sc := &workerScratch{rng: rand.New(rand.NewSource(0))}
+	sc.sink = func(samples []bannet.SeriesSample) {
+		for i := range samples {
+			s := &samples[i]
+			sc.out.series = append(sc.out.series, telemetry.SeriesPoint{
+				Node:          s.Node,
+				TimeMS:        s.TimeMS,
+				Charge:        s.Charge,
+				QueueDepth:    s.QueueDepth,
+				LinkPER:       s.LinkPER,
+				CollisionRate: s.CollisionRate,
+			})
+		}
+	}
+	return sc
 }
 
 // stream is the engine. In coupled mode it first runs phase 1 — the
@@ -455,10 +490,15 @@ func (f *Fleet) runWearer(w int, loads *phase1, sc *workerScratch, out *wearerOu
 		out.cell, out.foreignPPM, out.eqForeignPPM, out.iters = f.applyInterference(w, &cfg, loads, sc)
 	}
 	cfg.Seed = desim.DeriveSeed(f.Seed, 2*uint64(w)+1)
+	out.series = out.series[:0]
+	sc.out = out
 	if f.freshKernels {
 		sim, err := bannet.NewSim(cfg)
 		if err != nil {
 			return err
+		}
+		if f.Series > 0 {
+			sim.SetSeries(f.Series, sc.sink)
 		}
 		rep, err := sim.Run(f.Span)
 		if err != nil {
@@ -474,6 +514,9 @@ func (f *Fleet) runWearer(w int, loads *phase1, sc *workerScratch, out *wearerOu
 		}
 	} else if err = sc.sim.Reset(cfg); err != nil {
 		return err
+	}
+	if f.Series > 0 {
+		sc.sim.SetSeries(f.Series, sc.sink)
 	}
 	return sc.sim.RunInto(f.Span, &out.rep)
 }

@@ -1,6 +1,9 @@
 package fleet
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
 // DefaultMaxBins is the centroid budget of a StreamDist. Five
 // distributions at this budget cost a few tens of kilobytes — constant in
@@ -23,8 +26,13 @@ const DefaultMaxBins = 256
 // convention (index ⌊n·p/100⌋) exactly; beyond that, a percentile is the
 // centroid covering the target rank, with error bounded by the local
 // centroid spacing.
+//
+// NaN samples are counted separately and excluded from every statistic
+// (see Add): series gaps surface as NaN and must not poison the sum/mean
+// or break the sorted-centroid invariant sort.Search relies on.
 type StreamDist struct {
 	n        int64
+	nans     int64
 	sum      float64
 	min, max float64
 	bins     []centroid
@@ -46,8 +54,16 @@ func NewStreamDist(maxBins int) *StreamDist {
 	return &StreamDist{maxBins: maxBins, bins: make([]centroid, 0, maxBins+1)}
 }
 
-// Add absorbs one sample.
+// Add absorbs one sample. NaN is a gap marker, not a value: it bumps
+// NaNs() and leaves n, sum, min/max and the centroids untouched. (A NaN
+// admitted here would make the mean NaN forever and, because every
+// comparison against NaN is false, land at an arbitrary sort.Search
+// index — silently breaking the sorted-centroid invariant.)
 func (d *StreamDist) Add(x float64) {
+	if math.IsNaN(x) {
+		d.nans++
+		return
+	}
 	if d.n == 0 || x < d.min {
 		d.min = x
 	}
@@ -82,8 +98,11 @@ func (d *StreamDist) Add(x float64) {
 	d.bins = append(d.bins[:best+1], d.bins[best+2:]...)
 }
 
-// N reports the samples absorbed so far.
+// N reports the samples absorbed so far (NaN gaps excluded).
 func (d *StreamDist) N() int64 { return d.n }
+
+// NaNs reports how many NaN samples were offered and skipped.
+func (d *StreamDist) NaNs() int64 { return d.nans }
 
 // Quantile returns the estimated pct-th percentile under the batch
 // convention: the value at rank ⌊n·pct/100⌋ of the sorted sample,

@@ -71,6 +71,7 @@ func recordInto(rec *telemetry.Record, wearer int, r *bannet.Report) {
 	rec.ForeignLoadPPM = 0
 	rec.EqForeignLoadPPM = 0
 	rec.FeedbackIters = 0
+	rec.Series = nil
 	rec.Nodes = rec.Nodes[:0]
 	for i := range r.Nodes {
 		n := &r.Nodes[i]

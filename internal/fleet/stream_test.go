@@ -79,6 +79,57 @@ func TestStreamDistDeterminism(t *testing.T) {
 	}
 }
 
+// TestStreamDistNaNPolicy pins the gap-sample contract: NaN never enters
+// a statistic. Interleaving NaNs anywhere in the stream — first sample,
+// mid-stream, deep in merge territory — must leave every summary field
+// identical to the NaN-free stream, with the skips visible via NaNs().
+func TestStreamDistNaNPolicy(t *testing.T) {
+	state := uint64(7)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / float64(1<<53)
+	}
+	clean := NewStreamDist(64)
+	dirty := NewStreamDist(64)
+	dirty.Add(math.NaN()) // NaN as the very first sample
+	nans := int64(1)
+	for i := 0; i < 5000; i++ {
+		x := next()
+		clean.Add(x)
+		dirty.Add(x)
+		if i%17 == 0 {
+			dirty.Add(math.NaN())
+			nans++
+		}
+	}
+	if got, want := dirty.Dist(), clean.Dist(); got != want {
+		t.Fatalf("NaN samples leaked into the summary:\n got %+v\nwant %+v", got, want)
+	}
+	if dirty.N() != clean.N() {
+		t.Errorf("N counts NaNs: %d vs %d", dirty.N(), clean.N())
+	}
+	if dirty.NaNs() != nans {
+		t.Errorf("NaNs() = %d, want %d", dirty.NaNs(), nans)
+	}
+	if clean.NaNs() != 0 {
+		t.Errorf("clean stream reports %d NaNs", clean.NaNs())
+	}
+	// Mean must stay finite — the pre-policy failure mode was a poisoned
+	// sum turning every derived statistic into NaN.
+	if m := dirty.Dist().Mean; math.IsNaN(m) {
+		t.Error("mean poisoned by NaN sample")
+	}
+	// An all-NaN stream is an empty distribution, not a crash.
+	empty := NewStreamDist(0)
+	empty.Add(math.NaN())
+	if got := empty.Dist(); got != (Dist{}) {
+		t.Errorf("all-NaN stream: %+v, want zero Dist", got)
+	}
+	if empty.Quantile(50) != 0 {
+		t.Errorf("all-NaN quantile = %v, want 0", empty.Quantile(50))
+	}
+}
+
 // TestStreamMatchesBatchOnSmallFleet: on a fleet small enough that no
 // centroid merges happen, the streaming Run and the exact RunReports
 // paths must produce byte-identical reports.

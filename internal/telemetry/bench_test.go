@@ -7,6 +7,7 @@ package telemetry
 // runs/s) so the telemetry sink never becomes the sweep bottleneck.
 
 import (
+	"math"
 	"path/filepath"
 	"testing"
 )
@@ -52,17 +53,135 @@ func BenchmarkBlockDecode(b *testing.B) {
 	recs := benchRecords(DefaultBlockSize)
 	frame := encodeBlock(recs, CurrentFormat)
 	payload := frame[8 : len(frame)-4] // strip magic+len and CRC framing
+	_, body, err := splitKind(payload, CurrentFormat)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := decodeBlock(payload, CurrentFormat); err != nil {
+		if _, err := decodeBlock(body, CurrentFormat); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.StopTimer()
 	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 	b.ReportMetric(float64(DefaultBlockSize)/(perOp/1e9), "records/s")
-	b.ReportMetric(float64(len(payload))/(perOp/1e9)/1e6, "MB/s")
+	b.ReportMetric(float64(len(body))/(perOp/1e9)/1e6, "MB/s")
+}
+
+// benchSeriesBlock builds one block of records carrying a realistic
+// per-node time series: 4 nodes sampled every second over a 60 s span,
+// with the encoder's NaN gap markers sprinkled in.
+func benchSeriesBlock(n int) []Record {
+	recs := benchRecords(n)
+	for i := range recs {
+		for tick := int64(1); tick <= 60; tick++ {
+			for node := 0; node < 4; node++ {
+				p := SeriesPoint{
+					Node:       node,
+					TimeMS:     tick * 1000,
+					Charge:     1 - float64(tick)/7200 - float64(i%9)*0.01,
+					QueueDepth: int((tick + int64(node) + int64(i)) % 5),
+				}
+				if (int64(i)+tick+int64(node))%7 == 0 {
+					p.LinkPER, p.CollisionRate = math.NaN(), math.NaN()
+				} else {
+					p.LinkPER = float64((i+node)%12) / 40
+					p.CollisionRate = p.LinkPER / 3
+				}
+				recs[i].Series = append(recs[i].Series, p)
+			}
+		}
+	}
+	return recs
+}
+
+func BenchmarkSeriesEncode(b *testing.B) {
+	recs := benchSeriesBlock(DefaultBlockSize)
+	points := 0
+	for i := range recs {
+		points += len(recs[i].Series)
+	}
+	var encoded int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame := encodeSeriesFrame(nil, recs)
+		encoded = int64(len(frame))
+	}
+	b.StopTimer()
+	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(float64(points)/(perOp/1e9), "points/s")
+	b.ReportMetric(float64(encoded)/(perOp/1e9)/1e6, "MB/s")
+}
+
+func BenchmarkSeriesDecode(b *testing.B) {
+	recs := benchSeriesBlock(DefaultBlockSize)
+	points := 0
+	for i := range recs {
+		points += len(recs[i].Series)
+	}
+	frame := encodeSeriesFrame(nil, recs)
+	payload := frame[8 : len(frame)-4]
+	_, body, err := splitKind(payload, FormatV3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]Record, len(recs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range dst {
+			dst[j] = Record{Wearer: recs[j].Wearer}
+		}
+		if err := decodeSeriesBody(body, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(float64(points)/(perOp/1e9), "points/s")
+	b.ReportMetric(float64(len(body))/(perOp/1e9)/1e6, "MB/s")
+}
+
+// BenchmarkSeriesQuery measures an index-pruned aggregation over a
+// series store — the iobtrace query hot path, including the open,
+// checkpoint read and per-block decode.
+func BenchmarkSeriesQuery(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "query.wtl")
+	meta := Meta{FleetSeed: 42, Wearers: 256, SpanSeconds: 60, BlockSize: 32,
+		Version: FormatV3, Cells: 5, Feedback: true, SeriesCadenceSeconds: 1}
+	w, err := Create(path, meta)
+	if err != nil {
+		b.Fatal(err)
+	}
+	block := benchSeriesBlock(32)
+	for i := 0; i < 256; i++ {
+		rec := block[i%32]
+		rec.Wearer = i
+		if err := w.Consume(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	q := Query{Metric: "per", FromMS: 10_000, ToMS: 30_000, Cell: -1, Node: -1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err := QueryStore(path, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Points == 0 {
+			b.Fatal("query matched nothing")
+		}
+	}
+	b.StopTimer()
+	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(1e9/perOp, "queries/s")
 }
 
 // BenchmarkWriterConsume measures the full sink path: buffering, block

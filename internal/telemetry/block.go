@@ -44,7 +44,13 @@ func encodeBlock(recs []Record, version int) []byte {
 	floats := make([]float64, 0, total)
 	bools := make([]bool, 0, total)
 
-	payload := compress.AppendUvarint(nil, uint64(recs[0].Wearer))
+	var payload []byte
+	if version >= FormatV3 {
+		// v3 payloads lead with the frame kind; the record body that
+		// follows is byte-identical to the v2 layout.
+		payload = compress.AppendUvarint(payload, kindRecords)
+	}
+	payload = compress.AppendUvarint(payload, uint64(recs[0].Wearer))
 	payload = compress.AppendUvarint(payload, uint64(n))
 	payload = compress.AppendUvarint(payload, uint64(total))
 
@@ -348,11 +354,11 @@ func readHeaderFile(f *os.File) (Meta, int64, error) {
 	return meta, int64(got), nil
 }
 
-// readFrameAt reads and verifies one framed block at pos, never past
-// limit, returning the decoded records and the offset just past the
-// frame. One block is the unit of reader memory: nothing larger is ever
-// resident.
-func readFrameAt(f *os.File, pos, limit int64, version int) ([]Record, int64, error) {
+// readFramePayload reads and CRC-verifies one frame at pos, never past
+// limit, returning the raw payload (kind prefix included in v3 stores)
+// and the offset just past the frame. One frame is the unit of reader
+// memory: nothing larger is ever resident.
+func readFramePayload(f *os.File, pos, limit int64) ([]byte, int64, error) {
 	var hdr [8]byte
 	if pos+int64(len(hdr)) > limit {
 		return nil, 0, fmt.Errorf("%w: truncated frame", ErrCorrupt)
@@ -375,9 +381,40 @@ func readFrameAt(f *os.File, pos, limit int64, version int) ([]Record, int64, er
 	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(buf[plen:]) {
 		return nil, 0, fmt.Errorf("%w: block CRC mismatch", ErrCorrupt)
 	}
-	recs, err := decodeBlock(payload, version)
+	return payload, pos + int64(len(hdr)) + plen + 4, nil
+}
+
+// splitKind strips the frame-kind selector from a verified payload. Pre-v3
+// formats have no selector: every frame is a record block.
+func splitKind(payload []byte, version int) (int, []byte, error) {
+	if version < FormatV3 {
+		return kindRecords, payload, nil
+	}
+	kind, n := compress.DecodeUvarint(payload)
+	if n == 0 || kind > kindIndex {
+		return 0, nil, fmt.Errorf("%w: bad frame kind", ErrCorrupt)
+	}
+	return int(kind), payload[n:], nil
+}
+
+// readFrameAt reads, verifies and decodes one record block at pos, never
+// past limit, returning the decoded records and the offset just past the
+// frame. In a v3 store the frame must actually be a record block.
+func readFrameAt(f *os.File, pos, limit int64, version int) ([]Record, int64, error) {
+	payload, end, err := readFramePayload(f, pos, limit)
 	if err != nil {
 		return nil, 0, err
 	}
-	return recs, pos + int64(len(hdr)) + plen + 4, nil
+	kind, body, err := splitKind(payload, version)
+	if err != nil {
+		return nil, 0, err
+	}
+	if kind != kindRecords {
+		return nil, 0, fmt.Errorf("%w: frame kind %d where a record block was expected", ErrCorrupt, kind)
+	}
+	recs, err := decodeBlock(body, version)
+	if err != nil {
+		return nil, 0, err
+	}
+	return recs, end, nil
 }

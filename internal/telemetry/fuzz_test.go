@@ -3,6 +3,7 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -49,6 +50,32 @@ func storeBytes(f *testing.F, version int) []byte {
 	return data
 }
 
+// seriesStoreBytes renders a small valid series-enabled (v3) store in
+// memory for fuzz seeding.
+func seriesStoreBytes(f *testing.F) []byte {
+	f.Helper()
+	path := filepath.Join(f.TempDir(), "series-seed.wtl")
+	meta := Meta{FleetSeed: 42, Wearers: 24, SpanSeconds: 30, BlockSize: 8,
+		Version: FormatV3, Cells: 5, Feedback: true, SeriesCadenceSeconds: 0.5}
+	w, err := Create(path, meta)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := w.Consume(seriesRecord(i)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}
+
 // FuzzReader throws corrupted, truncated and adversarial byte streams at
 // both reader modes (checkpoint-less Open and OpenStrict) and at the
 // Resume scan fallback. The contract under fuzz: never panic, never
@@ -60,6 +87,13 @@ func FuzzReader(f *testing.F) {
 	f.Add(valid)
 	f.Add(storeBytes(f, FormatV0))
 	f.Add(storeBytes(f, FormatV1))
+	f.Add(storeBytes(f, FormatV2))
+	// Series-enabled v3 stores: whole, sans index, and torn mid-pair (the
+	// record frame committed, its series frame cut short).
+	series := seriesStoreBytes(f)
+	f.Add(series)
+	f.Add(series[:len(series)-50])
+	f.Add(series[:2*len(series)/3])
 	f.Add([]byte{})
 	f.Add([]byte("WBTL1\x00"))
 	f.Add([]byte("not a store at all"))
@@ -136,6 +170,98 @@ func FuzzReader(f *testing.F) {
 			t.Fatalf("repair not idempotent: next %d then %d", next, w2.NextWearer())
 		}
 		w2.Abort()
+	})
+}
+
+// FuzzSeriesBlock drives the series-column codec both ways: bytes are
+// first interpreted as sample parameters for an encode→decode round trip
+// (every surviving point must come back bit-identical, NaN markers
+// included), then thrown raw at the decoder as an adversarial frame body
+// — which must reject or terminate cleanly without panicking or
+// allocating unboundedly from forged headers.
+func FuzzSeriesBlock(f *testing.F) {
+	mk := func(n int) []byte {
+		recs := make([]Record, n)
+		for i := range recs {
+			recs[i] = seriesRecord(i)
+		}
+		frame := encodeSeriesFrame(nil, recs)
+		payload := frame[8 : len(frame)-4]
+		_, body, err := splitKind(payload, FormatV3)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return body
+	}
+	f.Add(mk(1))
+	f.Add(mk(8))
+	f.Add(mk(8)[:20])
+	corrupt := mk(8)
+	corrupt[len(corrupt)/2] ^= 0x10
+	f.Add(corrupt)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Direction 1: data parameterizes a small block; the round trip
+		// must be exact.
+		recs := make([]Record, 1+len(data)%4)
+		for i := range recs {
+			recs[i].Wearer = 5 + i
+			for j, b := range data {
+				if j%len(recs) != i || j > 200 {
+					continue
+				}
+				p := SeriesPoint{
+					Node:       int(b % 7),
+					TimeMS:     int64(j) * 250,
+					Charge:     float64(b) / 255,
+					QueueDepth: int(b>>3) - 10,
+				}
+				if b%5 == 0 {
+					p.LinkPER, p.CollisionRate = math.NaN(), math.NaN()
+				} else {
+					p.LinkPER = float64(b%11) / 20
+					p.CollisionRate = float64(b%13) / 40
+				}
+				recs[i].Series = append(recs[i].Series, p)
+			}
+		}
+		frame := encodeSeriesFrame(nil, recs)
+		payload := frame[8 : len(frame)-4]
+		_, body, err := splitKind(payload, FormatV3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := make([]Record, len(recs))
+		for i := range back {
+			back[i].Wearer = recs[i].Wearer
+		}
+		if err := decodeSeriesBody(body, back); err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		for i := range recs {
+			if !samePoints(back[i].Series, recs[i].Series) {
+				t.Fatalf("record %d: round trip mutated series", i)
+			}
+		}
+
+		// Direction 2: data is a raw adversarial body. Any outcome but a
+		// panic or an over-read is acceptable; on (unlikely) success the
+		// attached points must be bounded by what the bytes could hold.
+		tgt := make([]Record, 4)
+		for i := range tgt {
+			tgt[i].Wearer = i
+		}
+		if err := decodeSeriesBody(data, tgt); err == nil {
+			total := 0
+			for i := range tgt {
+				total += len(tgt[i].Series)
+			}
+			if 6*total > len(data) {
+				t.Fatalf("decoded %d points from %d bytes — over-read", total, len(data))
+			}
+		}
 	})
 }
 

@@ -1,0 +1,240 @@
+package telemetry
+
+import (
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// refStats is the brute-force reference: fold every sample of
+// seriesRecord(0..n) matching q through the same NaN policy, in the same
+// (wearer, sample) order the store's block walk visits — so float sums
+// must match QueryStore exactly, not just approximately.
+func refStats(n int, q Query, get func(p *SeriesPoint) float64) *SeriesStats {
+	stats := &SeriesStats{}
+	for w := 0; w < n; w++ {
+		rec := seriesRecord(w)
+		stats.fold(&q, get, &rec)
+	}
+	return stats
+}
+
+// TestQueryStoreAggregates checks every metric, filter and aggregation
+// against the brute-force reference on a multi-block store.
+func TestQueryStoreAggregates(t *testing.T) {
+	const n, blockSize = 37, 8
+	path := writeSeriesStore(t, n, blockSize)
+	for _, c := range []struct {
+		name string
+		q    Query
+	}{
+		{"all-charge", Query{Metric: "charge", Cell: -1, Node: -1}},
+		{"all-queue", Query{Metric: "queue", Cell: -1, Node: -1}},
+		{"per-with-gaps", Query{Metric: "per", Cell: -1, Node: -1}},
+		{"collisions", Query{Metric: "collisions", Cell: -1, Node: -1}},
+		{"time-slice", Query{Metric: "charge", FromMS: 1000, ToMS: 2000, Cell: -1, Node: -1}},
+		{"from-only", Query{Metric: "queue", FromMS: 2500, Cell: -1, Node: -1}},
+		{"one-cell", Query{Metric: "per", Cell: 3, Node: -1}},
+		{"one-node", Query{Metric: "charge", Cell: -1, Node: 2}},
+		{"cell-node-time", Query{Metric: "collisions", FromMS: 1500, ToMS: 2500, Cell: 1, Node: 0}},
+		{"empty-cell", Query{Metric: "charge", Cell: 999, Node: -1}},
+	} {
+		q := c.q
+		get, err := q.metric()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := refStats(n, q, get)
+		got, err := QueryStore(path, q)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got.Points != want.Points || got.Gaps != want.Gaps ||
+			got.Sum != want.Sum || got.Min != want.Min || got.Max != want.Max {
+			t.Errorf("%s: got {pts=%d gaps=%d sum=%v min=%v max=%v}, want {pts=%d gaps=%d sum=%v min=%v max=%v}",
+				c.name, got.Points, got.Gaps, got.Sum, got.Min, got.Max,
+				want.Points, want.Gaps, want.Sum, want.Min, want.Max)
+		}
+		if got.Mean() != want.Mean() {
+			t.Errorf("%s: mean %v, want %v", c.name, got.Mean(), want.Mean())
+		}
+		for _, pct := range []float64{0, 10, 50, 90, 99, 100} {
+			if g, w := got.Percentile(pct), want.Percentile(pct); g != w {
+				t.Errorf("%s: p%g = %v, want %v", c.name, pct, g, w)
+			}
+		}
+	}
+}
+
+// TestQueryStoreGapPolicy pins that NaN rate samples surface as Gaps and
+// never poison an aggregate.
+func TestQueryStoreGapPolicy(t *testing.T) {
+	path := writeSeriesStore(t, 37, 8)
+	stats, err := QueryStore(path, Query{Metric: "per", Cell: -1, Node: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Gaps == 0 {
+		t.Fatal("test data carries NaN windows but the query reported none")
+	}
+	for name, v := range map[string]float64{
+		"sum": stats.Sum, "mean": stats.Mean(), "min": stats.Min,
+		"max": stats.Max, "p50": stats.Percentile(50),
+	} {
+		if math.IsNaN(v) {
+			t.Errorf("%s poisoned by NaN gap samples", name)
+		}
+	}
+}
+
+// TestQueryIndexMatchesScan runs identical queries through the index
+// fast path and — after deleting the sidecar that locates the index —
+// the sequential fallback, and demands bit-identical statistics.
+func TestQueryIndexMatchesScan(t *testing.T) {
+	const n = 37
+	path := writeSeriesStore(t, n, 8)
+	queries := []Query{
+		{Metric: "charge", Cell: -1, Node: -1},
+		{Metric: "per", FromMS: 1000, ToMS: 2000, Cell: -1, Node: -1},
+		{Metric: "queue", Cell: 2, Node: 1},
+	}
+	indexed := make([]*SeriesStats, len(queries))
+	for i, q := range queries {
+		var err error
+		if indexed[i], err = QueryStore(path, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Remove(CheckpointPath(path)); err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		scanned, err := QueryStore(path, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix := indexed[i]
+		if scanned.Points != ix.Points || scanned.Gaps != ix.Gaps ||
+			scanned.Sum != ix.Sum || scanned.Min != ix.Min || scanned.Max != ix.Max ||
+			scanned.Percentile(90) != ix.Percentile(90) {
+			t.Errorf("query %d: scan fallback diverged from index path", i)
+		}
+	}
+}
+
+// TestQueryIndexPruning pins the admits predicate on every pruning axis:
+// queries whose selection cannot intersect a block must skip it, queries
+// that could must not — the index path still matches the reference.
+func TestQueryIndexPruning(t *testing.T) {
+	const n = 37
+	path := writeSeriesStore(t, n, 8)
+	for _, c := range []struct {
+		name string
+		q    Query
+	}{
+		{"before-all-samples", Query{Metric: "charge", ToMS: 100, Cell: -1, Node: -1}},
+		{"after-all-samples", Query{Metric: "charge", FromMS: 1 << 40, Cell: -1, Node: -1}},
+		{"node-past-max", Query{Metric: "queue", Cell: -1, Node: 99}},
+		{"cell-below-range", Query{Metric: "per", Cell: 0, Node: -1}},
+		{"mid-window", Query{Metric: "collisions", FromMS: 1500, ToMS: 1500, Cell: -1, Node: -1}},
+	} {
+		get, err := c.q.metric()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := refStats(n, c.q, get)
+		got, err := QueryStore(path, c.q)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got.Points != want.Points || got.Gaps != want.Gaps || got.Sum != want.Sum {
+			t.Errorf("%s: got {pts=%d gaps=%d sum=%v}, want {pts=%d gaps=%d sum=%v}",
+				c.name, got.Points, got.Gaps, got.Sum, want.Points, want.Gaps, want.Sum)
+		}
+	}
+}
+
+// TestWriterMetaAndFlush: Meta echoes the header and an explicit Flush
+// commits a short block that survives reopening.
+func TestWriterMetaAndFlush(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flush.wtl")
+	meta := seriesMeta(10, 8)
+	w, err := Create(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Meta(); got != meta {
+		t.Fatalf("writer meta %+v, want %+v", got, meta)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Consume(seriesRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.NextWearer() != 3 || w.Blocks() != 1 {
+		t.Fatalf("after flush: next=%d blocks=%d", w.NextWearer(), w.Blocks())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	drained := 0
+	for {
+		if _, err := r.Next(); err != nil {
+			if err != io.EOF {
+				t.Fatal(err)
+			}
+			break
+		}
+		drained++
+	}
+	if drained != 3 {
+		t.Fatalf("flushed store holds %d records, want 3", drained)
+	}
+}
+
+// TestQueryStoreErrors: unknown metrics and series-off stores fail with
+// directed messages instead of empty results.
+func TestQueryStoreErrors(t *testing.T) {
+	path := writeSeriesStore(t, 10, 8)
+	if _, err := QueryStore(path, Query{Metric: "latency", Cell: -1, Node: -1}); err == nil ||
+		!strings.Contains(err.Error(), "unknown series metric") {
+		t.Errorf("unknown metric: err = %v", err)
+	}
+	off := writeStore(t, 10, 8) // v3 store, cadence 0
+	if _, err := QueryStore(off, Query{Metric: "charge", Cell: -1, Node: -1}); err == nil ||
+		!strings.Contains(err.Error(), "no series") {
+		t.Errorf("series-off store: err = %v", err)
+	}
+}
+
+// TestQueryHeaderOnlyStore: a series-enabled store with zero committed
+// blocks queries cleanly to an empty result.
+func TestQueryHeaderOnlyStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.wtl")
+	w, err := Create(path, seriesMeta(5, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := QueryStore(path, Query{Metric: "charge", Cell: -1, Node: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Points != 0 || stats.Gaps != 0 || stats.Sum != 0 ||
+		stats.Mean() != 0 || stats.Percentile(50) != 0 {
+		t.Fatalf("header-only store produced non-empty stats: %+v", stats)
+	}
+}

@@ -28,9 +28,14 @@ type Reader struct {
 	// running totals
 	blocks    int
 	records   int
+	seriesPts int64
 	rawBytes  int64
 	size      int64
 	truncated bool
+	// entries accumulates per-block index entries as blocks are read, so
+	// strict mode can cross-check the trailing index frame field by field.
+	entries   []indexEntry
+	indexSeen bool
 }
 
 // openCommon is the shared open prologue: open the file and verify its
@@ -113,35 +118,104 @@ func (r *Reader) Next() (Record, error) {
 		if r.pos >= r.limit {
 			return Record{}, io.EOF
 		}
-		recs, end, err := readFrameAt(r.f, r.pos, r.limit, r.meta.Version)
-		if err != nil || len(recs) == 0 || recs[0].Wearer != r.records {
+		if err := r.nextBlock(); err != nil {
+			if err == io.EOF {
+				continue // index frame consumed; the loop re-checks pos
+			}
 			if r.ckValid || r.strict {
-				if err == nil {
-					err = fmt.Errorf("%w: non-contiguous wearer indices", ErrCorrupt)
-				}
 				return Record{}, err
 			}
 			r.truncated = true
 			r.pos = r.limit
 			return Record{}, io.EOF
 		}
-		r.block, r.bi = recs, 0
-		r.blocks++
-		r.records += len(recs)
-		for i := range recs {
-			r.rawBytes += int64(recs[i].RawSize())
-		}
-		r.pos = end
 	}
 	rec := r.block[r.bi]
 	r.bi++
 	return rec, nil
 }
 
+// nextBlock loads the next record block (with its series frame attached
+// in a series-enabled store) into r.block. It returns io.EOF after
+// consuming a valid trailing index frame, and ErrCorrupt-wrapped errors
+// for damage — the caller maps those to truncation or hard failure.
+func (r *Reader) nextBlock() error {
+	payload, end, err := readFramePayload(r.f, r.pos, r.limit)
+	if err != nil {
+		return err
+	}
+	kind, body, err := splitKind(payload, r.meta.Version)
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case kindRecords:
+		recs, err := decodeBlock(body, r.meta.Version)
+		if err != nil {
+			return err
+		}
+		if len(recs) == 0 || recs[0].Wearer != r.records {
+			return fmt.Errorf("%w: non-contiguous wearer indices", ErrCorrupt)
+		}
+		serOff := int64(0)
+		if r.meta.Series() {
+			// The pair committed in one write: a record block inside the
+			// trusted region without a valid series frame is damage.
+			serOff = end
+			if end, err = readSeriesFrameAt(r.f, end, r.limit, recs); err != nil {
+				return err
+			}
+		}
+		r.entries = append(r.entries, entryFor(r.pos, serOff, recs))
+		r.block, r.bi = recs, 0
+		r.blocks++
+		r.records += len(recs)
+		for i := range recs {
+			r.rawBytes += int64(recs[i].RawSize())
+			r.seriesPts += int64(len(recs[i].Series))
+		}
+		r.pos = end
+		return nil
+	case kindSeries:
+		// Series frames are consumed with their record block above; one
+		// standing alone lost its pair.
+		return fmt.Errorf("%w: orphan series frame", ErrCorrupt)
+	default: // kindIndex
+		entries, err := decodeIndexBody(body)
+		if err != nil {
+			return err
+		}
+		if end != r.limit {
+			return fmt.Errorf("%w: index frame is not the final frame", ErrCorrupt)
+		}
+		if r.strict {
+			// The index must restate exactly the blocks walked to get
+			// here; any divergence means it describes a different file.
+			if len(entries) != len(r.entries) {
+				return fmt.Errorf("%w: index holds %d entries, store holds %d blocks",
+					ErrCorrupt, len(entries), len(r.entries))
+			}
+			for i := range entries {
+				if entries[i] != r.entries[i] {
+					return fmt.Errorf("%w: index entry %d (%+v) does not match block (%+v)",
+						ErrCorrupt, i, entries[i], r.entries[i])
+				}
+			}
+		}
+		r.indexSeen = true
+		r.pos = end
+		return io.EOF
+	}
+}
+
 // Blocks and Records report how much of the store has been iterated so
 // far; after draining to io.EOF they cover the whole committed prefix.
 func (r *Reader) Blocks() int  { return r.blocks }
 func (r *Reader) Records() int { return r.records }
+
+// SeriesPoints reports the time-series samples attached to the records
+// iterated so far (0 in a pre-v3 or series-off store).
+func (r *Reader) SeriesPoints() int64 { return r.seriesPts }
 
 // RawBytes is the flat fixed-width size of every record iterated so far —
 // the numerator of the store's compression ratio.

@@ -32,6 +32,38 @@
 // Column codecs live in wiban/internal/compress (AppendDeltaInts,
 // AppendXorFloats, PackBools).
 //
+// # Format v3: frame kinds, series frames, query index
+//
+// From format v3 every frame payload begins with a uvarint kind
+// selector; pre-v3 payloads carry the record body directly, so v0–v2
+// stores decode unchanged and a v3 store written without series frames
+// differs from a v2 store only in the header's version field:
+//
+//	payload := uvarint kind | body
+//	kind 0 (records) — the v2 columnar record body above
+//	kind 1 (series)  — per-node in-run time series for the wearers of
+//	    the immediately preceding record block, committed in the same
+//	    file write (a torn pair discards both on resume):
+//	    uvarint firstWearer | records | totalPoints, per-record point
+//	    counts (delta varint), then flattened point columns — node and
+//	    queueDepth (zigzag-delta varint), timeMS (delta-of-delta
+//	    varint, Gorilla-style), charge, linkPER and collisionRate
+//	    (XOR-prev varint of float bits; NaN marks a window with no
+//	    transmission attempts — a gap, never a fake zero)
+//	kind 2 (index)   — one trailing frame Close writes PAST the final
+//	    checkpoint: per block-pair, the record and series frame offsets
+//	    plus label ranges (min/max sample time, cell range, node count)
+//	    QueryStore prunes on. It is never checkpointed, so Resume
+//	    discards and deterministically rewrites it — kill/resume stores
+//	    stay byte-identical — and a reader that ignores it sees exactly
+//	    the checkpointed record stream.
+//
+// QueryStore aggregates one metric (charge, queue, per, collisions) over
+// a time/cell/node range — sum, mean, min/max and exact sorted-sample
+// percentiles — locating the index via the checkpoint sidecar and
+// falling back to a sequential scan (bit-identical results) when either
+// is missing. iobtrace query is the CLI face.
+//
 // # Checkpoint and resume semantics
 //
 // The writer keeps a sidecar checkpoint at <path>.ckpt, rewritten
@@ -83,8 +115,24 @@ const (
 	// PPM and the cell's fixed-point round count. First-order sweeps
 	// store zeros, which again cost ~2 bytes per record.
 	FormatV2 = 2
-	// CurrentFormat is what new stores are written as.
-	CurrentFormat = FormatV2
+	// FormatV3 introduces frame kinds: every frame payload starts with a
+	// uvarint kind selector, admitting per-node time-series frames paired
+	// with their record blocks and a trailing query index alongside the
+	// record blocks of v2. Pre-v3 payloads carry the record body directly,
+	// so v0–v2 stores are byte-identical under both readings.
+	FormatV3 = 3
+	// CurrentFormat is what new stores are written as. Writers that need
+	// byte-identical output against a v2 golden (series disabled) must ask
+	// for FormatV2 explicitly.
+	CurrentFormat = FormatV3
+)
+
+// Frame kinds of a FormatV3 payload (first uvarint). Pre-v3 frames have
+// no kind selector and are all record blocks.
+const (
+	kindRecords = 0 // columnar wearer-record block (the v2 body)
+	kindSeries  = 1 // per-node time-series columns paired with the preceding record block
+	kindIndex   = 2 // trailing per-block query index (offsets, time/cell ranges)
 )
 
 // ErrCorrupt reports a store whose framing, CRC or column payload does
@@ -121,7 +169,16 @@ type Meta struct {
 	// offered-load loop (fleet.Coupling.Feedback). Feedback sweeps need
 	// FormatV2: the equilibrium columns are replayed state too.
 	Feedback bool `json:"feedback,omitempty"`
+	// SeriesCadenceSeconds is the in-run sampling cadence of a
+	// series-enabled sweep (quantized up to the TDMA superframe by the
+	// kernel); 0 means no series frames were recorded. Series need
+	// FormatV3. The omitempty tag keeps series-off meta JSON — and hence
+	// the whole header — byte-identical to a v2 store's.
+	SeriesCadenceSeconds float64 `json:"series_cadence_seconds,omitempty"`
 }
+
+// Series reports whether the store carries time-series frames.
+func (m *Meta) Series() bool { return m.SeriesCadenceSeconds > 0 }
 
 func (m *Meta) validate() error {
 	if m.Wearers <= 0 {
@@ -148,6 +205,12 @@ func (m *Meta) validate() error {
 	}
 	if m.Feedback && m.Version < FormatV2 {
 		return fmt.Errorf("telemetry: feedback sweep needs format v%d, store is v%d", FormatV2, m.Version)
+	}
+	if m.SeriesCadenceSeconds < 0 {
+		return fmt.Errorf("telemetry: negative series cadence %g", m.SeriesCadenceSeconds)
+	}
+	if m.Series() && m.Version < FormatV3 {
+		return fmt.Errorf("telemetry: series-enabled sweep needs format v%d, store is v%d", FormatV3, m.Version)
 	}
 	return nil
 }
@@ -201,11 +264,29 @@ type Record struct {
 	// unless the sweep closed the feedback loop.
 	FeedbackIters int
 	Nodes         []NodeRecord
+	// Series holds the wearer's in-run samples in (time, node) order; nil
+	// unless the sweep recorded series (meta.Series()). Stored in a
+	// separate series frame paired with the wearer's record block.
+	Series []SeriesPoint
+}
+
+// SeriesPoint is one in-run per-node sample: the bannet kernel's
+// SeriesSample re-expressed in store units. LinkPER and CollisionRate are
+// NaN for a window with no transmission attempts — a gap the fleet
+// aggregation layer skips (StreamDist NaN policy), never a fake zero.
+type SeriesPoint struct {
+	Node          int
+	TimeMS        int64
+	Charge        float64
+	QueueDepth    int
+	LinkPER       float64
+	CollisionRate float64
 }
 
 // RawSize is the flat fixed-width encoding size of the record in bytes
 // (8 bytes per integer/float column value, 1 bit per flag, rounded up per
 // record); the compression ratio iobtrace reports is relative to this.
+// Attached series points count at 8 bytes per column value.
 func (r *Record) RawSize() int {
-	return 3*8 + len(r.Nodes)*(8*8+1)
+	return 3*8 + len(r.Nodes)*(8*8+1) + len(r.Series)*(6*8)
 }

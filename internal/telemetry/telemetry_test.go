@@ -384,11 +384,20 @@ func TestWriterRejectsDisorder(t *testing.T) {
 // checkpointed prefix: Next must surface ErrCorrupt, not truncate.
 func TestReaderRejectsCorruptPrefix(t *testing.T) {
 	path := writeStore(t, 16, 8)
+	// Flip a byte 20 bytes before the checkpointed offset — inside the
+	// last committed record block, not the trailing index frame (which
+	// sits past the checkpoint and outside the trusted prefix).
+	pre, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trusted := pre.limit
+	pre.Close()
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	data[len(data)-20] ^= 0xff
+	data[trusted-20] ^= 0xff
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}

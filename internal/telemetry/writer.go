@@ -19,12 +19,20 @@ type Writer struct {
 	f      *os.File
 	path   string
 	meta   Meta
-	next   int // next expected wearer index
-	blocks int
+	hdrLen int64
+	next   int   // next expected wearer index
+	blocks int   // committed RECORD blocks (series/index frames never count)
 	offset int64 // committed (checkpointed) data-file length
 	buf    []Record
-	nodes  []NodeRecord // backing arena so buffered records share one allocation
-	closed bool
+	nodes  []NodeRecord  // backing arena so buffered records share one allocation
+	points []SeriesPoint // same arena trick for buffered series samples
+	// entries is the per-block query index accumulated across commits and
+	// written as the trailing index frame at Close. A checkpoint-resumed
+	// writer has not seen its earlier blocks, so it sets reindex and
+	// rebuilds the entries from the file before writing the frame.
+	entries []indexEntry
+	reindex bool
+	closed  bool
 }
 
 // encodeHeader renders the file header for meta.
@@ -56,11 +64,21 @@ func Create(path string, meta Meta) (*Writer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: create: %w", err)
 	}
+	// Remove any leftover sidecar from a previous run at this path BEFORE
+	// the store gains content. The old sidecar describes the overwritten
+	// file: if it survived until our own first checkpoint rename — e.g.
+	// because that rename fails, or the process dies first — a later
+	// Resume could trust it (same seed ⇒ its SeedCheck still verifies) and
+	// truncate the fresh store at a stale offset, mid-frame.
+	if err := os.Remove(CheckpointPath(path)); err != nil && !os.IsNotExist(err) {
+		f.Close()
+		return nil, fmt.Errorf("telemetry: remove stale checkpoint: %w", err)
+	}
 	if _, err := f.Write(hdr); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("telemetry: write header: %w", err)
 	}
-	w := &Writer{f: f, path: path, meta: meta, offset: int64(len(hdr))}
+	w := &Writer{f: f, path: path, meta: meta, hdrLen: int64(len(hdr)), offset: int64(len(hdr))}
 	if err := w.writeCheckpoint(); err != nil {
 		f.Close()
 		return nil, err
@@ -101,19 +119,37 @@ func resume(f *os.File, path string) (*Writer, error) {
 		return nil, fmt.Errorf("telemetry: resume: %w", err)
 	}
 	size := st.Size()
-	w := &Writer{f: f, path: path, meta: meta}
+	w := &Writer{f: f, path: path, meta: meta, hdrLen: hdrLen}
 	ck, ckErr := readCheckpoint(path, meta)
 	switch {
 	case ckErr == nil && ck.consistentWith(hdrLen, size):
 		w.offset, w.blocks, w.next = ck.Offset, ck.Blocks, ck.NextWearer
+		// The checkpoint path never reads the committed frames, so the
+		// query-index entries are unknown; Close rebuilds them.
+		w.reindex = meta.Version >= FormatV3 && w.blocks > 0
 	default:
 		// No (or implausible) checkpoint: rebuild one from the longest
-		// verifiable block prefix, one block in memory at a time.
+		// verifiable block prefix, one block in memory at a time. A v3
+		// record block and its series frame commit as one write, so the
+		// pair is trusted atomically: a record frame whose series frame is
+		// missing or damaged is a torn tail, and both are discarded. A
+		// trailing index frame is likewise discarded (readFrameAt refuses
+		// non-record kinds) and deterministically rewritten at Close.
 		w.offset = hdrLen
 		for w.offset < size {
 			recs, end, ferr := readFrameAt(f, w.offset, size, meta.Version)
 			if ferr != nil || len(recs) == 0 || recs[0].Wearer != w.next {
 				break // damaged or non-contiguous: uncommitted tail
+			}
+			serOff := int64(0)
+			if meta.Series() {
+				serOff = end
+				if end, ferr = readSeriesFrameAt(f, end, size, recs); ferr != nil {
+					break // torn pair: discard the record frame too
+				}
+			}
+			if meta.Version >= FormatV3 {
+				w.entries = append(w.entries, entryFor(w.offset, serOff, recs))
 			}
 			w.next += len(recs)
 			w.blocks++
@@ -165,9 +201,20 @@ func (w *Writer) Consume(rec Record) error {
 		return fmt.Errorf("telemetry: record carries equilibrium data but store format v%d has no feedback columns",
 			w.meta.Version)
 	}
+	if len(rec.Series) > 0 && !w.meta.Series() {
+		// Refuse rather than drop, like the cell and equilibrium columns:
+		// a caller sampling series into a store with no series frames
+		// would silently lose them — and a series-off store must stay
+		// byte-identical to a v2 store.
+		return fmt.Errorf("telemetry: record carries %d series points but store (format v%d, cadence %g) has no series frames",
+			len(rec.Series), w.meta.Version, w.meta.SeriesCadenceSeconds)
+	}
 	start := len(w.nodes)
 	w.nodes = append(w.nodes, rec.Nodes...)
 	rec.Nodes = w.nodes[start:len(w.nodes):len(w.nodes)]
+	ps := len(w.points)
+	w.points = append(w.points, rec.Series...)
+	rec.Series = w.points[ps:len(w.points):len(w.points)]
 	w.buf = append(w.buf, rec)
 	w.next++
 	if len(w.buf) >= w.meta.BlockSize {
@@ -176,20 +223,31 @@ func (w *Writer) Consume(rec Record) error {
 	return nil
 }
 
-// commit encodes the buffered records as one block, appends it, and
+// commit encodes the buffered records as one block — plus, in a
+// series-enabled store, the paired series frame, appended in the same
+// write so no committed record block can exist without its series — and
 // advances the checkpoint past it.
 func (w *Writer) commit() error {
 	if len(w.buf) == 0 {
 		return nil
 	}
 	frame := encodeBlock(w.buf, w.meta.Version)
+	serOff := int64(0)
+	if w.meta.Series() {
+		serOff = w.offset + int64(len(frame))
+		frame = encodeSeriesFrame(frame, w.buf)
+	}
 	if _, err := w.f.Write(frame); err != nil {
 		return fmt.Errorf("telemetry: write block: %w", err)
+	}
+	if w.meta.Version >= FormatV3 {
+		w.entries = append(w.entries, entryFor(w.offset, serOff, w.buf))
 	}
 	w.offset += int64(len(frame))
 	w.blocks++
 	w.buf = w.buf[:0]
 	w.nodes = w.nodes[:0]
+	w.points = w.points[:0]
 	return w.writeCheckpoint()
 }
 
@@ -198,7 +256,11 @@ func (w *Writer) commit() error {
 // clean finish — loses tail records.
 func (w *Writer) Flush() error { return w.commit() }
 
-// Close flushes and closes the store.
+// Close flushes and closes the store. On a v3 store with committed
+// blocks it then appends the trailing query-index frame — deliberately
+// PAST the final checkpoint and never covered by one, so Resume discards
+// and deterministically rewrites it: a kill/resume cycle yields a
+// byte-identical file.
 func (w *Writer) Close() error {
 	if w.closed {
 		return nil
@@ -207,8 +269,49 @@ func (w *Writer) Close() error {
 		w.f.Close()
 		return err
 	}
+	if w.meta.Version >= FormatV3 && w.blocks > 0 {
+		if w.reindex {
+			if err := w.rebuildEntries(); err != nil {
+				w.f.Close()
+				return err
+			}
+		}
+		if _, err := w.f.Write(encodeIndexFrame(w.entries)); err != nil {
+			w.f.Close()
+			return fmt.Errorf("telemetry: write index: %w", err)
+		}
+	}
 	w.closed = true
 	return w.f.Close()
+}
+
+// rebuildEntries reconstructs the query index of a checkpoint-resumed
+// writer by walking the committed frames it never saw. The checkpoint
+// promised these bytes, so any damage here is a hard error.
+func (w *Writer) rebuildEntries() error {
+	w.entries = w.entries[:0]
+	pos := w.hdrLen
+	next := 0
+	for pos < w.offset {
+		recs, end, err := readFrameAt(w.f, pos, w.offset, w.meta.Version)
+		if err != nil {
+			return fmt.Errorf("telemetry: reindex: %w", err)
+		}
+		if len(recs) == 0 || recs[0].Wearer != next {
+			return fmt.Errorf("%w: reindex: non-contiguous wearer indices", ErrCorrupt)
+		}
+		serOff := int64(0)
+		if w.meta.Series() {
+			serOff = end
+			if end, err = readSeriesFrameAt(w.f, end, w.offset, recs); err != nil {
+				return fmt.Errorf("telemetry: reindex: %w", err)
+			}
+		}
+		w.entries = append(w.entries, entryFor(pos, serOff, recs))
+		next += len(recs)
+		pos = end
+	}
+	return nil
 }
 
 // Abort closes the file without flushing buffered records or advancing
