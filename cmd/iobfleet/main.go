@@ -63,15 +63,25 @@
 // remaining wearers; the final report and fingerprint are bit-identical
 // to an uninterrupted run. Inspect, verify or re-aggregate a store with
 // the iobtrace command.
+//
+// A streaming sweep also stops gracefully: SIGINT or SIGTERM aborts at
+// the next record boundary, keeps the store's checkpoint, prints the
+// -resume invocation and exits 0 — Ctrl-C on an hours-long sweep parks
+// it instead of killing it. Without -out, signals kill the process as
+// usual. For an always-on service with the same contract (plus metrics
+// and progress streaming), see the iobfleetd daemon.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 
 	"wiban/internal/fleet"
 	"wiban/internal/spectrum"
@@ -79,40 +89,10 @@ import (
 	"wiban/internal/units"
 )
 
-// adoptVersion picks the store format a -resume continues in: the
-// store's own (older) format when it can still represent the requested
-// sweep — uncoupled runs read any version, coupled runs need the v1
-// cell columns, feedback runs the v2 equilibrium columns, series
-// sampling the v3 series frames — and the current format otherwise, so
-// the meta equality guard surfaces the mismatch instead of the writer
-// silently dropping columns.
-func adoptVersion(storeVersion, cells int, feedback, series bool) int {
-	needed := telemetry.FormatV0
-	if cells > 0 {
-		needed = telemetry.FormatV1
-	}
-	if feedback {
-		needed = telemetry.FormatV2
-	}
-	if series {
-		needed = telemetry.FormatV3
-	}
-	if storeVersion >= needed {
-		return storeVersion
-	}
-	return telemetry.CurrentFormat
-}
-
-// newVersion picks the store format for a freshly created store: the v3
-// series frames only when the sweep samples series, and otherwise
-// exactly the format the previous release wrote — a series-off sweep
-// must produce a byte-identical store, not a gratuitous v3 one.
-func newVersion(series bool) int {
-	if series {
-		return telemetry.FormatV3
-	}
-	return telemetry.FormatV2
-}
+// errInterrupted is the sentinel the signal handler injects into the
+// sink: the engine aborts at the next record boundary and main exits 0
+// with the store checkpointed, ready for -resume.
+var errInterrupted = errors.New("iobfleet: interrupted by signal")
 
 // cellsForDensity derives the cell count hitting a target wearers-per-
 // cell: ceil(wearers/density), never below 1. Fractional densities are
@@ -234,7 +214,7 @@ func main() {
 			SpanSeconds: float64(f.Span),
 			Scenario:    scenarioTag,
 			BlockSize:   *blockSize,
-			Version:     newVersion(*seriesSec > 0),
+			Version:     telemetry.CreateVersion(*seriesSec > 0),
 			Cells:       *cells,
 			Feedback:    *feedback && *cells > 0,
 
@@ -247,7 +227,7 @@ func main() {
 			}
 			got := store.Meta()
 			meta.BlockSize = got.BlockSize // block size is the store's to keep
-			meta.Version = adoptVersion(got.Version, *cells, meta.Feedback, *seriesSec > 0)
+			meta.Version = telemetry.AdoptVersion(got.Version, *cells, meta.Feedback, *seriesSec > 0)
 			if got != meta {
 				store.Abort()
 				fail(2, "resume flags describe a different sweep than %s:\n  store: %+v\n  flags: %+v", *outPath, got, meta)
@@ -282,6 +262,29 @@ func main() {
 		// Store first, then aggregate: the committed prefix on disk never
 		// runs ahead of what the report has folded in.
 		sink = fleet.Tee(store, agg)
+
+		// With a store attached, SIGINT/SIGTERM become a graceful stop
+		// instead of a kill: the sink returns errInterrupted at the next
+		// record boundary, the engine aborts, and everything committed so
+		// far stays a valid checkpointed prefix. Without -out there is
+		// nothing to save, so the default die-on-signal behavior stands.
+		stop := make(chan struct{})
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			s := <-sig
+			fmt.Fprintf(os.Stderr, "iobfleet: %v: checkpointing and stopping\n", s)
+			close(stop)
+		}()
+		inner := sink
+		sink = fleet.SinkFunc(func(rec telemetry.Record) error {
+			select {
+			case <-stop:
+				return errInterrupted
+			default:
+			}
+			return inner.Consume(rec)
+		})
 	}
 
 	// Profiling brackets exactly the sweep (flag parsing, store setup and
@@ -315,6 +318,13 @@ func main() {
 	if err != nil {
 		if store != nil {
 			store.Abort() // keep the checkpoint where the sweep died
+		}
+		if errors.Is(err, errInterrupted) {
+			// A graceful stop is a success: the sweep is parked, not dead.
+			fmt.Printf("interrupted: %s checkpointed at wearer %d/%d (%d blocks)\n",
+				*outPath, store.NextWearer(), f.Wearers, store.Blocks())
+			fmt.Printf("continue with: iobfleet -resume -out %s <same flags>\n", *outPath)
+			return
 		}
 		fail(1, "%v", err)
 	}

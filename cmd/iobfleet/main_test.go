@@ -1,13 +1,16 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"wiban/internal/fleet"
 	"wiban/internal/spectrum"
@@ -378,10 +381,11 @@ func TestFeedbackOutResumeFlow(t *testing.T) {
 }
 
 // TestResumeAdoptsOlderStoreVersion pins the version-adoption rule main
-// applies on -resume: a store written in an older format is continued
-// in that format when it can still represent the sweep (a v1 store for
-// a first-order coupled resume), and the current format is demanded
-// when it cannot (a feedback resume needs the v2 columns).
+// applies on -resume (telemetry.AdoptVersion, shared with the iobfleetd
+// daemon's restart recovery): a store written in an older format is
+// continued in that format when it can still represent the sweep (a v1
+// store for a first-order coupled resume), and the current format is
+// demanded when it cannot (a feedback resume needs the v2 columns).
 func TestResumeAdoptsOlderStoreVersion(t *testing.T) {
 	for _, c := range []struct {
 		store, cells int
@@ -399,7 +403,7 @@ func TestResumeAdoptsOlderStoreVersion(t *testing.T) {
 		{telemetry.FormatV3, 0, false, true, telemetry.FormatV3},
 		{telemetry.FormatV3, 4, true, true, telemetry.FormatV3},
 	} {
-		if got := adoptVersion(c.store, c.cells, c.feedback, c.series); got != c.want {
+		if got := telemetry.AdoptVersion(c.store, c.cells, c.feedback, c.series); got != c.want {
 			t.Errorf("store v%d cells=%d feedback=%t series=%t: adopted v%d, want v%d",
 				c.store, c.cells, c.feedback, c.series, got, c.want)
 		}
@@ -474,6 +478,98 @@ func TestResumeAdoptsOlderStoreVersion(t *testing.T) {
 	}
 	if agg.Report().Fingerprint() != want.Fingerprint() {
 		t.Fatal("v1 store resumed under the current binary diverged")
+	}
+}
+
+// TestSignalCheckpointAndResume pins the graceful-stop contract at the
+// process level: a streaming sweep SIGTERMed mid-run exits 0 (not
+// signal death) with a resume hint, and rerunning with -resume finishes
+// the sweep to the bit-identical fingerprint of an uninterrupted run.
+func TestSignalCheckpointAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second signal lifecycle in -short mode")
+	}
+	bin, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "sig.wtl")
+	args := []string{"-wearers", "6000", "-dur", "30", "-workers", "2",
+		"-seed", "21", "-block-size", "64", "-out", out}
+	cmd := exec.Command(bin, args...)
+	cmd.Env = append(os.Environ(), "IOBFLEET_RUN_MAIN=1")
+	var buf strings.Builder
+	cmd.Stdout, cmd.Stderr = &buf, &buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Signal only once a block is durable, so the resume leg has a
+	// checkpoint to stand on. Create writes an initial wearer-0
+	// checkpoint, so existence is not progress: wait for the sidecar's
+	// content to move past whatever it held when first observed (each
+	// rewrite is temp+rename, so reads are never torn).
+	deadline := time.Now().Add(60 * time.Second)
+	var initial []byte
+	for {
+		if b, err := os.ReadFile(telemetry.CheckpointPath(out)); err == nil {
+			initial = b
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("no checkpoint after 60s:\n%s", buf.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for {
+		if b, err := os.ReadFile(telemetry.CheckpointPath(out)); err == nil && !bytes.Equal(b, initial) {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("no committed block after 60s:\n%s", buf.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("signaled sweep exited non-zero: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "-resume") {
+		t.Errorf("no resume hint in output:\n%s", buf.String())
+	}
+
+	// The store must be a genuine partial: checkpointed short of the
+	// population (the poll guarantees at least one committed block).
+	parked, err := telemetry.Resume(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := parked.NextWearer()
+	parked.Abort()
+	if next <= 0 || next >= 6000 {
+		t.Fatalf("checkpoint at wearer %d, want a proper prefix of 6000", next)
+	}
+
+	code, resumeOut := runMain(t, append(append([]string{}, args...), "-resume")...)
+	if code != 0 {
+		t.Fatalf("resume leg exited %d", code)
+	}
+	want, wantOut := runMain(t, "-wearers", "6000", "-dur", "30", "-workers", "2", "-seed", "21")
+	if want != 0 {
+		t.Fatalf("reference run exited %d", want)
+	}
+	fp := func(s string) string {
+		i := strings.Index(s, "fingerprint ")
+		if i < 0 {
+			t.Fatalf("no fingerprint line:\n%s", s)
+		}
+		return strings.Fields(s[i:])[1]
+	}
+	if got, ref := fp(resumeOut), fp(wantOut); got != ref {
+		t.Errorf("resumed fingerprint %s != uninterrupted %s", got, ref)
 	}
 }
 

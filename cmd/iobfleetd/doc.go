@@ -1,0 +1,92 @@
+// Command iobfleetd is the long-running fleet service: it accepts sweep
+// submissions over HTTP, runs them on a bounded pool of in-process
+// runners, and stays observable and killable the whole time.
+//
+// Usage:
+//
+//	iobfleetd -listen 127.0.0.1:9370 -data /var/lib/iobfleetd -sweeps 2
+//
+// # Endpoints
+//
+// Submissions are the iobfleet flag surface as JSON (wearers, seed,
+// dur_seconds, workers, per_spread, batt_spread, harvest_prob,
+// drop_prob, ble_frac, drain, cells, density, feedback, max_iters,
+// tol_ppm, series_seconds, block_size — all literal, no server-side
+// defaults beyond zero values):
+//
+//	POST /api/sweeps                submit → 202 + sweep state
+//	GET  /api/sweeps                all sweeps, submission order
+//	GET  /api/sweeps/{id}           one sweep's state
+//	GET  /api/sweeps/{id}/progress  NDJSON progress stream (curl -N)
+//	GET  /metrics                   Prometheus text exposition 0.0.4
+//	GET  /healthz                   liveness
+//	GET  /debug/pprof/...           live profiling
+//
+//	curl -d '{"wearers":1000,"seed":42,"dur_seconds":600,"cells":50}' \
+//	    localhost:9370/api/sweeps
+//
+// Every sweep streams its records into a telemetry store
+// (<data>/<id>.wtl, see wiban/internal/telemetry) beside a JSON state
+// sidecar (<data>/<id>.json, written atomically), so the daemon's word
+// about a sweep is always durable truth: the progress stream ticks only
+// on committed blocks, and the /metrics byte/block counters count only
+// checkpointed writes. Progress events are full state snapshots, lossy
+// for intermediate ticks under a slow reader but guaranteed for the
+// final line ("final": true).
+//
+// # Metric catalog
+//
+// Sweep lifecycle (counters, plus queue gauges):
+//
+//	iobfleetd_sweeps_submitted_total    accepted by POST /api/sweeps
+//	iobfleetd_sweeps_started_total      picked up by a runner (resumes included)
+//	iobfleetd_sweeps_completed_total    finished with a fingerprint
+//	iobfleetd_sweeps_failed_total       ended by an error
+//	iobfleetd_sweeps_interrupted_total  checkpointed and parked by a drain
+//	iobfleetd_sweeps_resumed_total      continued from a telemetry checkpoint
+//	iobfleetd_sweeps_queued             waiting for a runner (gauge)
+//	iobfleetd_sweeps_running            currently executing (gauge)
+//
+// Engine (func metrics over the shared fleet.Stats the zero-alloc hot
+// path updates with atomics; rate() over the first two gives live
+// wearers/s and kernel events/s):
+//
+//	iobfleetd_wearers_simulated_total
+//	iobfleetd_kernel_events_total
+//	iobfleetd_phase1_gather_seconds_total
+//	iobfleetd_phase1_solve_seconds_total
+//	iobfleetd_equilibrium_iterations_total
+//	iobfleetd_equilibrium_cells_total
+//	iobfleetd_reorder_window_depth      (gauge)
+//
+// Telemetry and per-sweep distributions:
+//
+//	iobfleetd_telemetry_blocks_written_total
+//	iobfleetd_telemetry_bytes_written_total
+//	iobfleetd_sweep_duration_seconds    (histogram)
+//	iobfleetd_phase1_duration_seconds   (histogram)
+//	iobfleetd_sweep_allocated_bytes     (histogram; process-wide
+//	                                    TotalAlloc delta per sweep — an
+//	                                    upper bound under concurrency)
+//
+// Go runtime: iobfleetd_goroutines, iobfleetd_heap_alloc_bytes,
+// iobfleetd_gc_cycles_total.
+//
+// # Drain and restart
+//
+// Shutdown is a first-class path, not an accident. On SIGTERM or SIGINT
+// the daemon drains: running sweeps abort at their next record boundary
+// with the telemetry checkpoint intact, park as "interrupted" (their
+// progress streams end with a final event), queued sweeps stay queued,
+// new submissions get 503, and the process exits 0. On the next start
+// with the same -data, every non-terminal sweep — interrupted, queued,
+// or mid-run crashed (SIGKILL included: recovery needs only the
+// sidecars and store checkpoints on disk) — re-enters the queue in ID
+// order and resumes from its checkpoint. Resumed fingerprints are
+// bit-identical to uninterrupted runs, the same contract iobfleet
+// -resume keeps; TestChaosKillResume is the pinning test.
+//
+// /debug/pprof serves live profiles from the same mux; pair it with the
+// iobfleet -cpuprofile/-memprofile flags when you want offline capture
+// of a single sweep instead.
+package main

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wiban/internal/obs"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:9370", "HTTP listen address (host:port; port 0 picks a free port)")
+		data   = flag.String("data", "iobfleetd.data", "directory for telemetry stores and sweep state sidecars")
+		sweeps = flag.Int("sweeps", 2, "sweeps running concurrently (queue is unbounded in practice)")
+	)
+	flag.Parse()
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "iobfleetd: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	reg := obs.NewRegistry()
+	m, err := newManager(*data, *sweeps, reg)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fail("%v", err)
+	}
+	// The actual address, not the flag: with -listen :0 this line is how
+	// scripts (and the exec-level tests) learn the port.
+	fmt.Printf("iobfleetd: listening on http://%s (data %s, %d sweep slots)\n",
+		ln.Addr(), *data, *sweeps)
+
+	srv := &http.Server{Handler: newMux(m, reg)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		fail("%v", err)
+	case s := <-sig:
+		fmt.Printf("iobfleetd: %v: draining (running sweeps checkpoint and park)\n", s)
+	}
+
+	// Drain before shutting down HTTP: running sweeps checkpoint and
+	// publish their final "interrupted" progress event while clients can
+	// still hear it. Then give open connections a moment and cut them —
+	// a progress stream on a queued sweep would otherwise hold Shutdown
+	// open forever.
+	m.beginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		srv.Close()
+	}
+	fmt.Println("iobfleetd: drained; restart with the same -data to resume")
+}

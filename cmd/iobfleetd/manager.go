@@ -1,0 +1,572 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"wiban/internal/fleet"
+	"wiban/internal/obs"
+	"wiban/internal/telemetry"
+)
+
+// errDrained is the sentinel a draining daemon injects into every
+// running sweep's sink: the engine aborts at the next record boundary,
+// the store keeps its last committed checkpoint, and the sweep parks as
+// "interrupted" for the next process to resume.
+var errDrained = errors.New("iobfleetd: draining")
+
+// Sweep statuses. A sweep moves queued → running → {done, failed,
+// interrupted}; interrupted and (recovered) running/queued sweeps
+// re-enter the queue on restart. done and failed are terminal.
+const (
+	statusQueued      = "queued"
+	statusRunning     = "running"
+	statusDone        = "done"
+	statusFailed      = "failed"
+	statusInterrupted = "interrupted"
+)
+
+// sweepState is everything the daemon knows about one sweep — exactly
+// what the `<id>.json` sidecar persists and the API serves. Progress
+// fields (records, blocks, bytes) track the telemetry store's committed
+// prefix, so they are durable truth, not optimistic in-memory counts.
+type sweepState struct {
+	ID          string    `json:"id"`
+	Spec        sweepSpec `json:"spec"`
+	Status      string    `json:"status"`
+	Records     int       `json:"records"`
+	Blocks      int       `json:"blocks"`
+	Bytes       int64     `json:"bytes"`
+	Fingerprint string    `json:"fingerprint,omitempty"`
+	Error       string    `json:"error,omitempty"`
+}
+
+func (st *sweepState) terminal() bool {
+	return st.Status == statusDone || st.Status == statusFailed
+}
+
+// progressEvent is one NDJSON line on a sweep's progress stream: the
+// sweep's state snapshot at a block-commit tick (or status change).
+// Final marks the last event a subscriber will receive.
+type progressEvent struct {
+	sweepState
+	WearersTotal int  `json:"wearers_total"`
+	Final        bool `json:"final"`
+}
+
+// sweep is the in-memory half of a sweepState: the mutable state plus
+// its progress subscribers. All fields are guarded by mu.
+type sweep struct {
+	mu   sync.Mutex
+	st   sweepState
+	subs map[chan progressEvent]struct{}
+}
+
+func (sw *sweep) snapshot() sweepState {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.st
+}
+
+// subscribe registers a progress listener. The current state arrives
+// immediately as the first event, so a subscriber never waits for the
+// next commit tick to learn where the sweep stands; if the sweep is
+// already terminal that first event is also the last.
+func (sw *sweep) subscribe() chan progressEvent {
+	ch := make(chan progressEvent, 16)
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if sw.subs == nil {
+		sw.subs = make(map[chan progressEvent]struct{})
+	}
+	sw.subs[ch] = struct{}{}
+	ch <- sw.event(sw.st.terminal() || sw.st.Status == statusInterrupted)
+	return ch
+}
+
+func (sw *sweep) unsubscribe(ch chan progressEvent) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	delete(sw.subs, ch)
+}
+
+// event builds the progress event for the current state. Caller holds mu.
+func (sw *sweep) event(final bool) progressEvent {
+	return progressEvent{sweepState: sw.st, WearersTotal: sw.st.Spec.Wearers, Final: final}
+}
+
+// publish fans the current state out to every subscriber. Sends are
+// lossy for intermediate events — a slow reader's oldest buffered event
+// is dropped to make room — but never for the event itself: after the
+// drop there is always room, so the final event always lands. Caller
+// holds mu (the publisher is single-threaded per sweep: its runner).
+func (sw *sweep) publish(final bool) {
+	ev := sw.event(final)
+	for ch := range sw.subs {
+		select {
+		case ch <- ev:
+		default:
+			select {
+			case <-ch: // shed the oldest event; the snapshot supersedes it
+			default:
+			}
+			ch <- ev
+		}
+	}
+}
+
+// manager owns the sweep set: submissions, the bounded runner pool, the
+// sidecar persistence, crash recovery and the drain protocol.
+type manager struct {
+	dir     string
+	stats   *fleet.Stats // shared by every sweep; counters accumulate daemon-wide
+	metrics *daemonMetrics
+
+	queue chan *sweep
+	drain chan struct{} // closed when draining; never reopened
+	wg    sync.WaitGroup
+
+	mu      sync.Mutex
+	sweeps  map[string]*sweep
+	order   []string // submission order (ID order)
+	nextID  int
+	queued  int
+	running int
+
+	prevBytes  int64 // for the telemetry byte/block counters (mu-guarded)
+	prevBlocks int
+}
+
+// daemonMetrics is the daemon's own event-driven metric set. The
+// engine-sourced series (wearers, events, phase-1 time, equilibrium
+// iterations, window depth) are registered as func metrics over the
+// shared fleet.Stats and need no fields here.
+type daemonMetrics struct {
+	submitted, started, completed, failed, interrupted, resumed *obs.Counter
+	blocksWritten, bytesWritten                                 *obs.Counter
+	sweepSeconds, phase1Seconds, allocBytes                     *obs.Histogram
+}
+
+// newManager loads any sweeps a previous process left in dir, re-queues
+// the unfinished ones, registers the full metric catalog on reg, and
+// starts `slots` runner goroutines.
+func newManager(dir string, slots int, reg *obs.Registry) (*manager, error) {
+	if slots < 1 {
+		slots = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	m := &manager{
+		dir:    dir,
+		stats:  &fleet.Stats{},
+		queue:  make(chan *sweep, 4096),
+		drain:  make(chan struct{}),
+		sweeps: make(map[string]*sweep),
+	}
+	m.registerMetrics(reg)
+	if err := m.recover(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < slots; i++ {
+		m.wg.Add(1)
+		go m.runner()
+	}
+	return m, nil
+}
+
+// recover scans dir for `<id>.json` sidecars and rebuilds the sweep
+// set. Terminal sweeps are kept for the API; anything a dead process
+// left queued, running or interrupted goes back on the queue in ID
+// order — running/interrupted sweeps resume from their telemetry
+// checkpoint when a runner picks them up.
+func (m *manager) recover() error {
+	names, err := filepath.Glob(filepath.Join(m.dir, "s*.json"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		raw, err := os.ReadFile(name)
+		if err != nil {
+			return err
+		}
+		var st sweepState
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return fmt.Errorf("sweep sidecar %s: %w", name, err)
+		}
+		var n int
+		if _, err := fmt.Sscanf(st.ID, "s%06d", &n); err != nil || filepath.Base(name) != st.ID+".json" {
+			return fmt.Errorf("sweep sidecar %s: id %q does not match filename", name, st.ID)
+		}
+		if n >= m.nextID {
+			m.nextID = n + 1
+		}
+		sw := &sweep{st: st}
+		m.sweeps[st.ID] = sw
+		m.order = append(m.order, st.ID)
+		if !st.terminal() {
+			sw.st.Status = statusQueued
+			if err := m.persist(sw); err != nil {
+				return err
+			}
+			m.queued++
+			m.queue <- sw
+		}
+	}
+	return nil
+}
+
+// submit validates, persists and enqueues a new sweep. A draining
+// daemon refuses submissions so the queue is quiescent at exit.
+func (m *manager) submit(spec sweepSpec) (sweepState, error) {
+	if err := spec.normalize(); err != nil {
+		return sweepState{}, err
+	}
+	select {
+	case <-m.drain:
+		return sweepState{}, errDrained
+	default:
+	}
+	m.mu.Lock()
+	id := fmt.Sprintf("s%06d", m.nextID)
+	m.nextID++
+	sw := &sweep{st: sweepState{ID: id, Spec: spec, Status: statusQueued}}
+	if err := m.persist(sw); err != nil {
+		m.mu.Unlock()
+		return sweepState{}, err
+	}
+	m.sweeps[id] = sw
+	m.order = append(m.order, id)
+	m.queued++
+	m.mu.Unlock()
+	m.metrics.submitted.Inc()
+	select {
+	case m.queue <- sw:
+	default:
+		// Queue full (4096 outstanding sweeps): back-pressure the client
+		// rather than block the HTTP handler. The sidecar stays queued, so
+		// a restart re-enqueues it — "try again later" loses nothing.
+		return sweepState{}, fmt.Errorf("sweep queue full")
+	}
+	return sw.snapshot(), nil
+}
+
+// get returns one sweep by ID.
+func (m *manager) get(id string) (*sweep, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sw, ok := m.sweeps[id]
+	return sw, ok
+}
+
+// list returns every sweep's state in submission order.
+func (m *manager) list() []sweepState {
+	m.mu.Lock()
+	order := append([]string(nil), m.order...)
+	sweeps := make([]*sweep, len(order))
+	for i, id := range order {
+		sweeps[i] = m.sweeps[id]
+	}
+	m.mu.Unlock()
+	out := make([]sweepState, len(sweeps))
+	for i, sw := range sweeps {
+		out[i] = sw.snapshot()
+	}
+	return out
+}
+
+// persist writes the sweep's sidecar atomically (temp + rename), the
+// same durability discipline as the telemetry checkpoint: a crash
+// leaves either the old state or the new, never a torn file.
+func (m *manager) persist(sw *sweep) error {
+	raw, err := json.MarshalIndent(&sw.st, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(m.dir, sw.st.ID+".json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// runner is one slot of the bounded pool: it pulls queued sweeps until
+// the daemon drains.
+func (m *manager) runner() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.drain:
+			return
+		case sw := <-m.queue:
+			m.run(sw)
+		}
+	}
+}
+
+// beginDrain flips the daemon into drain mode: no new submissions, no
+// new sweep starts, and every running sweep aborts at its next record
+// boundary (checkpoint intact). It returns once all runners have
+// exited — after it returns, every sweep is queued, interrupted or
+// terminal, and the process may exit.
+func (m *manager) beginDrain() {
+	select {
+	case <-m.drain:
+	default:
+		close(m.drain)
+	}
+	m.wg.Wait()
+}
+
+// run executes one sweep to a terminal or interrupted state.
+func (m *manager) run(sw *sweep) {
+	select {
+	case <-m.drain:
+		return // stays queued; the sidecar already says so
+	default:
+	}
+	m.setStatus(sw, statusRunning, "")
+	m.metrics.started.Inc()
+
+	storePath := filepath.Join(m.dir, sw.st.ID+".wtl")
+	spec := sw.snapshot().Spec
+	f, meta := spec.build(m.stats)
+	agg := fleet.NewStreamAggregator(f.Span)
+
+	// Create or resume the telemetry store. A checkpointed store means a
+	// previous process died (or drained) mid-sweep: adopt its format,
+	// verify it describes this spec, replay the committed prefix into the
+	// aggregator and start the engine at the checkpoint.
+	var store *telemetry.Writer
+	var err error
+	if st, serr := os.Stat(storePath); serr == nil && st.Size() > 0 {
+		store, err = m.resumeStore(sw, storePath, meta, agg, f)
+	} else {
+		store, err = telemetry.Create(storePath, meta)
+	}
+	if err != nil {
+		m.finish(sw, statusFailed, err.Error())
+		return
+	}
+
+	// Progress and the telemetry byte/block counters ride the store's
+	// commit tick: each callback fires after a block and its checkpoint
+	// are durable, so everything the stream reports is crash-safe truth.
+	baseBlocks, baseBytes := store.Blocks(), store.Offset()
+	store.OnCommit = func(blocks, records int, bytes int64) {
+		m.metrics.blocksWritten.Add(float64(blocks - baseBlocks))
+		m.metrics.bytesWritten.Add(float64(bytes - baseBytes))
+		baseBlocks, baseBytes = blocks, bytes
+		sw.mu.Lock()
+		sw.st.Blocks, sw.st.Records, sw.st.Bytes = blocks, records, bytes
+		sw.publish(false)
+		sw.mu.Unlock()
+	}
+
+	sink := drainSink{inner: fleet.Tee(store, agg), drain: m.drain}
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	perf, err := f.Stream(sink)
+	runtime.ReadMemStats(&ms1)
+
+	switch {
+	case errors.Is(err, errDrained):
+		store.Abort() // keep the checkpoint where the sweep paused
+		m.finish(sw, statusInterrupted, "")
+		m.metrics.interrupted.Inc()
+	case err != nil:
+		store.Abort()
+		m.finish(sw, statusFailed, err.Error())
+	default:
+		if cerr := store.Close(); cerr != nil {
+			m.finish(sw, statusFailed, cerr.Error())
+			return
+		}
+		m.metrics.sweepSeconds.Observe(time.Since(start).Seconds())
+		m.metrics.phase1Seconds.Observe(perf.Phase1.Seconds())
+		// TotalAlloc is process-wide, so with concurrent sweeps this
+		// attributes neighbors' allocations too — an upper bound, which is
+		// the useful direction for an allocation-budget signal.
+		m.metrics.allocBytes.Observe(float64(ms1.TotalAlloc - ms0.TotalAlloc))
+		sw.mu.Lock()
+		sw.st.Fingerprint = agg.Report().Fingerprint()
+		sw.st.Records = agg.Wearers()
+		sw.mu.Unlock()
+		m.finish(sw, statusDone, "")
+	}
+}
+
+// resumeStore reopens a checkpointed store for sw, guards that it
+// describes the same sweep, replays its committed prefix into agg and
+// positions f at the checkpoint.
+func (m *manager) resumeStore(sw *sweep, path string, meta telemetry.Meta, agg *fleet.StreamAggregator, f *fleet.Fleet) (*telemetry.Writer, error) {
+	store, err := telemetry.Resume(path)
+	if err != nil {
+		return nil, err
+	}
+	got := store.Meta()
+	meta.BlockSize = got.BlockSize // block size is the store's to keep
+	meta.Version = telemetry.AdoptVersion(got.Version, meta.Cells, meta.Feedback, meta.Series())
+	if got != meta {
+		store.Abort()
+		return nil, fmt.Errorf("store %s describes a different sweep:\n  store: %+v\n  spec:  %+v", path, got, meta)
+	}
+	r, err := telemetry.Open(path)
+	if err != nil {
+		store.Abort()
+		return nil, err
+	}
+	replayed, err := fleet.Replay(r, agg)
+	r.Close()
+	if err != nil {
+		store.Abort()
+		return nil, err
+	}
+	if replayed != store.NextWearer() {
+		store.Abort()
+		return nil, fmt.Errorf("store %s replayed %d records but checkpoint says %d", path, replayed, store.NextWearer())
+	}
+	f.Start = store.NextWearer()
+	m.metrics.resumed.Inc()
+	return store, nil
+}
+
+// setStatus transitions a sweep and persists + publishes the change.
+func (m *manager) setStatus(sw *sweep, status, errMsg string) {
+	m.mu.Lock()
+	switch status {
+	case statusRunning:
+		m.queued--
+		m.running++
+	case statusDone, statusFailed, statusInterrupted:
+		m.running--
+	}
+	m.mu.Unlock()
+	sw.mu.Lock()
+	sw.st.Status = status
+	sw.st.Error = errMsg
+	if err := m.persist(sw); err != nil {
+		// The in-memory transition stands; losing a sidecar write means a
+		// restart replays this sweep from its last durable state, which the
+		// resume path is built to absorb. Say so rather than die mid-drain.
+		fmt.Fprintf(os.Stderr, "iobfleetd: persisting %s: %v\n", sw.st.ID, err)
+	}
+	sw.publish(status != statusQueued && status != statusRunning)
+	sw.mu.Unlock()
+}
+
+// finish moves a sweep to a terminal (or interrupted) state, counting
+// the outcome.
+func (m *manager) finish(sw *sweep, status, errMsg string) {
+	m.setStatus(sw, status, errMsg)
+	switch status {
+	case statusDone:
+		m.metrics.completed.Inc()
+	case statusFailed:
+		m.metrics.failed.Inc()
+	}
+}
+
+// drainSink wraps a sweep's sink with the drain check: once the daemon
+// drains, the next record returns errDrained and the engine aborts with
+// every previously consumed record already a valid committed prefix.
+type drainSink struct {
+	inner fleet.Sink
+	drain <-chan struct{}
+}
+
+func (d drainSink) Consume(rec telemetry.Record) error {
+	select {
+	case <-d.drain:
+		return errDrained
+	default:
+	}
+	return d.inner.Consume(rec)
+}
+
+// registerMetrics wires the full catalog: daemon lifecycle counters,
+// engine-sourced func metrics over the shared fleet.Stats, telemetry
+// write counters, per-sweep latency/allocation histograms and Go
+// runtime gauges.
+func (m *manager) registerMetrics(reg *obs.Registry) {
+	m.metrics = &daemonMetrics{
+		submitted:   reg.NewCounter("iobfleetd_sweeps_submitted_total", "Sweeps accepted by POST /api/sweeps.", nil),
+		started:     reg.NewCounter("iobfleetd_sweeps_started_total", "Sweeps a runner began executing (resumes included).", nil),
+		completed:   reg.NewCounter("iobfleetd_sweeps_completed_total", "Sweeps finished with a fingerprint.", nil),
+		failed:      reg.NewCounter("iobfleetd_sweeps_failed_total", "Sweeps ended by an error.", nil),
+		interrupted: reg.NewCounter("iobfleetd_sweeps_interrupted_total", "Sweeps checkpointed and parked by a drain.", nil),
+		resumed:     reg.NewCounter("iobfleetd_sweeps_resumed_total", "Sweeps continued from a telemetry checkpoint.", nil),
+		blocksWritten: reg.NewCounter("iobfleetd_telemetry_blocks_written_total",
+			"Telemetry blocks committed (checkpoint durable) across all sweeps.", nil),
+		bytesWritten: reg.NewCounter("iobfleetd_telemetry_bytes_written_total",
+			"Telemetry store bytes committed across all sweeps.", nil),
+		sweepSeconds: reg.NewHistogram("iobfleetd_sweep_duration_seconds",
+			"Wall-clock duration of completed sweeps.", nil,
+			[]float64{0.01, 0.1, 1, 10, 60, 600, 3600}),
+		phase1Seconds: reg.NewHistogram("iobfleetd_phase1_duration_seconds",
+			"Phase-1 (offered-load gather + equilibrium solve) wall-clock time of completed sweeps.", nil,
+			[]float64{0.0001, 0.001, 0.01, 0.1, 1, 10}),
+		allocBytes: reg.NewHistogram("iobfleetd_sweep_allocated_bytes",
+			"Heap bytes allocated process-wide during each completed sweep (upper bound under concurrency).", nil,
+			[]float64{1e5, 1e6, 1e7, 1e8, 1e9, 1e10}),
+	}
+
+	// Engine counters: func metrics over the shared fleet.Stats the hot
+	// path updates with atomics — zero extra cost per scrape beyond reads.
+	st := m.stats
+	reg.NewCounterFunc("iobfleetd_wearers_simulated_total",
+		"Wearer simulations completed across all sweeps.", nil,
+		func() float64 { return float64(st.Wearers.Load()) })
+	reg.NewCounterFunc("iobfleetd_kernel_events_total",
+		"Discrete simulation events executed across all sweeps.", nil,
+		func() float64 { return float64(st.Events.Load()) })
+	reg.NewCounterFunc("iobfleetd_phase1_gather_seconds_total",
+		"Cumulative phase-1 offered-load gather time.", nil,
+		func() float64 { return float64(st.Phase1GatherNS.Load()) / 1e9 })
+	reg.NewCounterFunc("iobfleetd_phase1_solve_seconds_total",
+		"Cumulative phase-1 equilibrium solve time.", nil,
+		func() float64 { return float64(st.Phase1SolveNS.Load()) / 1e9 })
+	reg.NewCounterFunc("iobfleetd_equilibrium_iterations_total",
+		"Fixed-point iterations summed over all solved cells.", nil,
+		func() float64 { return float64(st.EquilibriumIters.Load()) })
+	reg.NewCounterFunc("iobfleetd_equilibrium_cells_total",
+		"Cells put through the equilibrium solver.", nil,
+		func() float64 { return float64(st.EquilibriumCells.Load()) })
+	reg.NewGaugeFunc("iobfleetd_reorder_window_depth",
+		"Completed wearer reports parked awaiting in-order emission, across running sweeps.", nil,
+		func() float64 { return float64(st.WindowDepth.Load()) })
+
+	reg.NewGaugeFunc("iobfleetd_sweeps_queued", "Sweeps waiting for a runner.", nil, func() float64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return float64(m.queued)
+	})
+	reg.NewGaugeFunc("iobfleetd_sweeps_running", "Sweeps currently executing.", nil, func() float64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return float64(m.running)
+	})
+
+	reg.NewGaugeFunc("iobfleetd_goroutines", "Goroutines in the daemon process.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.NewGaugeFunc("iobfleetd_heap_alloc_bytes", "Live heap bytes (runtime.MemStats.HeapAlloc).", nil, func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	})
+	reg.NewCounterFunc("iobfleetd_gc_cycles_total", "Completed GC cycles.", nil, func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.NumGC)
+	})
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/pprof"
+
+	"wiban/internal/obs"
+)
+
+// newMux wires the daemon's HTTP surface:
+//
+//	GET  /healthz                   liveness (always 200 while serving)
+//	GET  /metrics                   Prometheus text exposition
+//	POST /api/sweeps                submit a sweep (sweepSpec JSON) → 202 + state
+//	GET  /api/sweeps                all sweeps, submission order
+//	GET  /api/sweeps/{id}           one sweep's state
+//	GET  /api/sweeps/{id}/progress  NDJSON stream riding the block-commit tick
+//	GET  /debug/pprof/...           Go profiling endpoints
+func newMux(m *manager, reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.HandleFunc("POST /api/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		var spec sweepSpec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, "bad sweep spec: "+err.Error())
+			return
+		}
+		st, err := m.submit(spec)
+		switch {
+		case errors.Is(err, errDrained):
+			httpError(w, http.StatusServiceUnavailable, "draining; resubmit to the next process")
+		case err != nil:
+			httpError(w, http.StatusBadRequest, err.Error())
+		default:
+			writeJSON(w, http.StatusAccepted, st)
+		}
+	})
+	mux.HandleFunc("GET /api/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.list())
+	})
+	mux.HandleFunc("GET /api/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		sw, ok := m.get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such sweep")
+			return
+		}
+		writeJSON(w, http.StatusOK, sw.snapshot())
+	})
+	mux.HandleFunc("GET /api/sweeps/{id}/progress", func(w http.ResponseWriter, r *http.Request) {
+		sw, ok := m.get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such sweep")
+			return
+		}
+		streamProgress(w, r, sw)
+	})
+	// pprof must be mounted by hand: the stdlib's init() registers on
+	// http.DefaultServeMux, which this daemon deliberately does not serve.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// streamProgress serves one sweep's NDJSON progress stream: the current
+// state immediately, then one line per committed telemetry block (and
+// per status change), flushed as they happen. The stream ends with a
+// line carrying "final": true when the sweep reaches a resting state —
+// done, failed, or interrupted by a drain — or when the client leaves.
+// Intermediate ticks are lossy under a slow reader (each line is a full
+// snapshot, so the newest supersedes anything shed); the final line is
+// guaranteed.
+func streamProgress(w http.ResponseWriter, r *http.Request, sw *sweep) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sub := sw.subscribe()
+	defer sw.unsubscribe(sub)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-sub:
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if ev.Final {
+				return
+			}
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

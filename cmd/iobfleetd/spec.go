@@ -1,0 +1,157 @@
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"wiban/internal/fleet"
+	"wiban/internal/spectrum"
+	"wiban/internal/telemetry"
+	"wiban/internal/units"
+)
+
+// sweepSpec is one sweep submission: the iobfleet flag surface as JSON.
+// Every field is literal — an omitted numeric field is zero, not a
+// server-side default — so the sidecar-persisted spec alone re-derives
+// the sweep bit-for-bit after a restart. Field names mirror the CLI
+// flags (dur → dur_seconds, series → series_seconds, tol → tol_ppm).
+type sweepSpec struct {
+	Wearers    int     `json:"wearers"`
+	Seed       int64   `json:"seed"`
+	DurSeconds float64 `json:"dur_seconds"`
+	Workers    int     `json:"workers,omitempty"`
+
+	PERSpread     float64 `json:"per_spread,omitempty"`
+	BatterySpread float64 `json:"batt_spread,omitempty"`
+	HarvesterProb float64 `json:"harvest_prob,omitempty"`
+	DropNodeProb  float64 `json:"drop_prob,omitempty"`
+	BLEFraction   float64 `json:"ble_frac,omitempty"`
+	Drain         bool    `json:"drain,omitempty"`
+
+	Cells   int     `json:"cells,omitempty"`
+	Density float64 `json:"density,omitempty"`
+
+	Feedback bool  `json:"feedback,omitempty"`
+	MaxIters int   `json:"max_iters,omitempty"`
+	TolPPM   int64 `json:"tol_ppm,omitempty"`
+
+	SeriesSeconds float64 `json:"series_seconds,omitempty"`
+	BlockSize     int     `json:"block_size,omitempty"`
+}
+
+// normalize validates the spec and resolves density into cells (the two
+// are one knob, exactly as in the CLI), so the persisted spec is
+// canonical: a restart re-derives the identical sweep without repeating
+// the derivation.
+func (s *sweepSpec) normalize() error {
+	if s.Wearers <= 0 {
+		return fmt.Errorf("non-positive population %d", s.Wearers)
+	}
+	if !(s.DurSeconds > 0) { // also catches NaN
+		return fmt.Errorf("non-positive span %v", s.DurSeconds)
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("negative worker count %d", s.Workers)
+	}
+	if s.Density != 0 {
+		if !(s.Density > 0) {
+			return fmt.Errorf("non-positive density %v", s.Density)
+		}
+		if s.Cells != 0 {
+			return fmt.Errorf("cells and density are two spellings of the same knob; pass one")
+		}
+		s.Cells = cellsForDensity(s.Wearers, s.Density)
+		s.Density = 0
+	}
+	if s.Cells < 0 {
+		return fmt.Errorf("negative cell count %d", s.Cells)
+	}
+	if s.Feedback {
+		if s.Cells <= 0 {
+			return fmt.Errorf("feedback needs a spectrum topology; pass cells or density")
+		}
+		if s.MaxIters < 0 {
+			return fmt.Errorf("negative feedback iteration cap %d", s.MaxIters)
+		}
+		if s.TolPPM < 0 {
+			return fmt.Errorf("negative feedback tolerance %d", s.TolPPM)
+		}
+	} else if s.MaxIters != 0 || s.TolPPM != 0 {
+		return fmt.Errorf("max_iters/tol_ppm are feedback knobs; set feedback too")
+	}
+	if s.SeriesSeconds < 0 || math.IsNaN(s.SeriesSeconds) {
+		return fmt.Errorf("negative series cadence %v", s.SeriesSeconds)
+	}
+	if s.BlockSize < 0 {
+		return fmt.Errorf("negative block size %d", s.BlockSize)
+	}
+	gen := s.generator()
+	if err := gen.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// cellsForDensity derives the cell count hitting a target wearers-per-
+// cell: ceil(wearers/density), never below 1 — the same arithmetic as
+// the iobfleet -density flag.
+func cellsForDensity(wearers int, density float64) int {
+	cells := int(math.Ceil(float64(wearers) / density))
+	if cells < 1 {
+		return 1
+	}
+	return cells
+}
+
+// generator builds the population generator the spec describes.
+func (s *sweepSpec) generator() *fleet.Generator {
+	return &fleet.Generator{
+		Base:          fleet.DefaultBase(),
+		PERSpread:     s.PERSpread,
+		BatterySpread: s.BatterySpread,
+		HarvesterProb: s.HarvesterProb,
+		DropNodeProb:  s.DropNodeProb,
+		BLEFraction:   s.BLEFraction,
+		DrainBattery:  s.Drain,
+	}
+}
+
+// build assembles the runnable fleet and the telemetry metadata of a
+// normalized spec — exactly the composition cmd/iobfleet performs from
+// its flags, with the engine's Stats hook attached for live metrics.
+func (s *sweepSpec) build(stats *fleet.Stats) (*fleet.Fleet, telemetry.Meta) {
+	gen := s.generator()
+	f := &fleet.Fleet{
+		Wearers:  s.Wearers,
+		Seed:     s.Seed,
+		Scenario: gen.Scenario(),
+		Loads:    gen.LoadScenario(),
+		Span:     units.Duration(s.DurSeconds),
+		Workers:  s.Workers,
+		Series:   units.Duration(s.SeriesSeconds),
+		Stats:    stats,
+	}
+	tag := gen.Tag()
+	if s.Cells > 0 {
+		f.Coupling = &fleet.Coupling{Cells: s.Cells, Model: spectrum.Default()}
+		if s.Feedback {
+			f.Coupling.Feedback = true
+			f.Coupling.MaxIters = s.MaxIters
+			f.Coupling.TolPPM = s.TolPPM
+		}
+		tag += ";" + f.Coupling.Tag()
+	}
+	meta := telemetry.Meta{
+		FleetSeed:   s.Seed,
+		Wearers:     s.Wearers,
+		SpanSeconds: s.DurSeconds,
+		Scenario:    tag,
+		BlockSize:   s.BlockSize,
+		Version:     telemetry.CreateVersion(s.SeriesSeconds > 0),
+		Cells:       s.Cells,
+		Feedback:    s.Feedback && s.Cells > 0,
+
+		SeriesCadenceSeconds: s.SeriesSeconds,
+	}
+	return f, meta
+}

@@ -51,6 +51,31 @@ func BenchmarkFleetWorkersNumCPU(b *testing.B) {
 func BenchmarkFleetReuse(b *testing.B) { benchFleet(b, 4, false) }
 func BenchmarkFleetFresh(b *testing.B) { benchFleet(b, 4, true) }
 
+// BenchmarkFleetInstrumented is the daemon-path benchmark: the identical
+// workload to BenchmarkFleetWorkers4 with a Stats hook attached, the way
+// iobfleetd runs every sweep. The delta vs Workers4 is the whole cost of
+// live instrumentation — a few atomic adds per wearer — and the
+// allocation-budget gate holds it to the same ceilings as the
+// uninstrumented engine: instrumentation must not break the zero-alloc
+// hot path.
+func BenchmarkFleetInstrumented(b *testing.B) {
+	f := testFleet(200, 4, 42)
+	f.Span = 60 * units.Second
+	f.Stats = &Stats{}
+	b.ReportAllocs()
+	var last Perf
+	for i := 0; i < b.N; i++ {
+		_, perf, err := f.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = perf
+	}
+	b.ReportMetric(last.RunsPerSec, "runs/s")
+	b.ReportMetric(last.EventsPerSec, "events/s")
+	b.ReportMetric(last.Phase1.Seconds()*1e3, "phase1-ms")
+}
+
 // TestFleetParallelSpeedup asserts the acceptance criterion on machines
 // with enough cores: the NumCPU-worker sweep of 1,000 wearers runs >2×
 // faster than the serial sweep. Below 4 cores there is nothing to

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"wiban/internal/bannet"
 	"wiban/internal/desim"
@@ -216,6 +217,7 @@ func (f *Fleet) wearerLoads(w int, sc *workerScratch, dst []spectrum.NodeLoad) (
 // members keep — a grown arena strands its old backing array, but the
 // values stored there are final, so stored members stay valid.
 func (f *Fleet) offeredLoads(workers int) (*phase1, error) {
+	gatherStart := time.Now()
 	cells := f.Coupling.Cells
 	total, err := spectrum.NewLoadTable(cells)
 	if err != nil {
@@ -307,14 +309,27 @@ func (f *Fleet) offeredLoads(workers int) (*phase1, error) {
 	if failIdx != -1 {
 		return nil, fmt.Errorf("fleet: offered-load phase: wearer %d: %w", failIdx, failErr)
 	}
+	if f.Stats != nil {
+		f.Stats.Phase1GatherNS.Add(time.Since(gatherStart).Nanoseconds())
+	}
 	p1 := &phase1{loads: total, model: f.Coupling.model()}
 	if members != nil {
+		solveStart := time.Now()
 		eq := f.Coupling.equilibrium()
 		res, err := eq.Solve(cells, members)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: equilibrium phase: %w", err)
 		}
 		p1.eq = res
+		if f.Stats != nil {
+			f.Stats.Phase1SolveNS.Add(time.Since(solveStart).Nanoseconds())
+			var iters int64
+			for c := 0; c < cells; c++ {
+				iters += int64(res.Iters(c))
+			}
+			f.Stats.EquilibriumIters.Add(iters)
+			f.Stats.EquilibriumCells.Add(int64(cells))
+		}
 	}
 	return p1, nil
 }

@@ -157,6 +157,13 @@ type Fleet struct {
 	// telemetry store with Meta.Series() enabled (format v3).
 	Series units.Duration
 
+	// Stats, when non-nil, receives live atomic instrumentation updates
+	// from the hot path: completed wearers, kernel events, phase-1
+	// gather/solve time, equilibrium iterations and the reorder-window
+	// depth (see Stats). Nil costs nothing; non-nil costs a few atomic
+	// adds per wearer and changes no simulated outcome.
+	Stats *Stats
+
 	// freshKernels disables the per-worker kernel arena, rebuilding a
 	// Sim (and a scenario RNG) for every wearer the way the engine did
 	// before kernels became reusable. It exists solely so the
@@ -425,6 +432,7 @@ func (f *Fleet) stream(emit func(w int, out *wearerOut) error) (Perf, error) {
 				}
 				mu.Lock()
 				pending[i] = out
+				f.Stats.windowAdd(1)
 				if len(pending) > maxPending {
 					maxPending = len(pending)
 				}
@@ -434,6 +442,7 @@ func (f *Fleet) stream(emit func(w int, out *wearerOut) error) (Perf, error) {
 						break
 					}
 					delete(pending, nextEmit)
+					f.Stats.windowAdd(-1)
 					if err := emit(nextEmit, r); err != nil {
 						idx := nextEmit
 						mu.Unlock()
@@ -441,6 +450,7 @@ func (f *Fleet) stream(emit func(w int, out *wearerOut) error) (Perf, error) {
 						return
 					}
 					events += r.rep.Events
+					f.Stats.wearerDone(r.rep.Events)
 					nextEmit++
 					bufs <- r // the emitted report's buffer frees a waiting worker
 				}
@@ -450,6 +460,9 @@ func (f *Fleet) stream(emit func(w int, out *wearerOut) error) (Perf, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	// A failed or aborted sweep strands its parked reports: release them
+	// from the gauge so WindowDepth returns to its pre-sweep value.
+	f.Stats.windowAdd(-int64(len(pending)))
 
 	if failIdx != -1 {
 		return Perf{}, failErr

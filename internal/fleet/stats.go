@@ -1,0 +1,63 @@
+package fleet
+
+import "sync/atomic"
+
+// Stats is an optional live instrumentation hook: attach one to
+// Fleet.Stats and the engine updates its counters with atomic operations
+// on the existing zero-allocation hot path — no locks, no allocations,
+// no change to any simulated outcome (fingerprints are pinned identical
+// with Stats on or off by TestStatsInert). A metrics exporter (the
+// iobfleetd daemon's /metrics endpoint) reads the counters concurrently
+// while a sweep is in flight; rates like wearers/s and events/s fall out
+// of scraping the monotone totals.
+//
+// One Stats may be shared by several concurrent Fleet runs — every
+// update is an atomic add, so shared counters accumulate fleet-wide
+// totals and WindowDepth sums the live reorder-window occupancy across
+// sweeps. Counters are never reset by the engine; they are
+// process-lifetime monotone (the Prometheus counter contract), except
+// WindowDepth which is a gauge returning to its pre-sweep value when a
+// sweep finishes.
+type Stats struct {
+	// Wearers counts completed wearer simulations, incremented as each
+	// report is emitted to the sink in wearer-index order.
+	Wearers atomic.Int64
+	// Events counts discrete kernel events across completed wearers.
+	Events atomic.Uint64
+	// Phase1GatherNS accumulates wall-clock nanoseconds spent in the
+	// coupled engine's phase-1 offered-load gather (the parallel
+	// per-wearer load reduction), per sweep.
+	Phase1GatherNS atomic.Int64
+	// Phase1SolveNS accumulates wall-clock nanoseconds spent in the
+	// equilibrium fixed-point solve (zero for first-order couplings).
+	Phase1SolveNS atomic.Int64
+	// EquilibriumIters counts fixed-point rounds summed over all cells of
+	// every feedback solve.
+	EquilibriumIters atomic.Int64
+	// EquilibriumCells counts cells solved across feedback sweeps (the
+	// divisor turning EquilibriumIters into a mean rounds-per-cell).
+	EquilibriumCells atomic.Int64
+	// WindowDepth is the current reorder-window occupancy: completed
+	// wearer reports held for in-order emission, summed across running
+	// sweeps. It is a gauge — incremented when a report parks in the
+	// window, decremented when the in-order consumer emits it.
+	WindowDepth atomic.Int64
+}
+
+// wearerDone records one emitted wearer report; nil-safe so the engine
+// can call it unconditionally.
+func (s *Stats) wearerDone(events uint64) {
+	if s == nil {
+		return
+	}
+	s.Wearers.Add(1)
+	s.Events.Add(events)
+}
+
+// windowAdd moves the reorder-window gauge; nil-safe.
+func (s *Stats) windowAdd(delta int64) {
+	if s == nil {
+		return
+	}
+	s.WindowDepth.Add(delta)
+}

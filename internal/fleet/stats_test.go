@@ -1,0 +1,150 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"wiban/internal/telemetry"
+	"wiban/internal/units"
+)
+
+// TestStatsInert pins that attaching a Stats hook changes no simulated
+// outcome: the aggregate report is byte-identical with the hook on or
+// off, at any worker count.
+func TestStatsInert(t *testing.T) {
+	want, _, err := testFleet(60, 3, 17).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		f := testFleet(60, workers, 17)
+		f.Stats = &Stats{}
+		got, _, err := f.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Fingerprint() != want.Fingerprint() {
+			t.Fatalf("workers=%d: instrumented fingerprint diverged", workers)
+		}
+	}
+}
+
+// TestStatsCountsMatchReport pins the counters against the engine's own
+// ground truth: completed wearers and kernel events must equal the
+// aggregate report's, and the reorder-window gauge must return to zero
+// once the sweep finishes.
+func TestStatsCountsMatchReport(t *testing.T) {
+	st := &Stats{}
+	f := testFleet(80, 4, 5)
+	f.Stats = st
+	rep, _, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Wearers.Load(); got != int64(rep.Wearers) {
+		t.Errorf("Wearers counter %d, report says %d", got, rep.Wearers)
+	}
+	if got := st.Events.Load(); got != rep.Events {
+		t.Errorf("Events counter %d, report says %d", got, rep.Events)
+	}
+	if got := st.WindowDepth.Load(); got != 0 {
+		t.Errorf("WindowDepth %d after sweep, want 0", got)
+	}
+	// Counters are monotone across sweeps: a second run on the same Stats
+	// accumulates, never resets.
+	if _, _, err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Wearers.Load(); got != 2*int64(rep.Wearers) {
+		t.Errorf("Wearers counter %d after two sweeps, want %d", got, 2*rep.Wearers)
+	}
+}
+
+// TestStatsPhase1AndEquilibrium pins the coupled-engine counters: a
+// feedback sweep records gather and solve time plus one equilibrium
+// round count per cell, and the iteration total — a pure function of the
+// gathered loads — is identical at any worker count.
+func TestStatsPhase1AndEquilibrium(t *testing.T) {
+	run := func(workers int) *Stats {
+		st := &Stats{}
+		f := testFleet(60, workers, 9)
+		f.Loads = testGenerator().LoadScenario()
+		f.Coupling = &Coupling{Cells: 4, Feedback: true}
+		f.Stats = st
+		if _, _, err := f.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a := run(1)
+	if a.Phase1GatherNS.Load() <= 0 {
+		t.Error("feedback sweep recorded no gather time")
+	}
+	if a.Phase1SolveNS.Load() <= 0 {
+		t.Error("feedback sweep recorded no solve time")
+	}
+	if got := a.EquilibriumCells.Load(); got != 4 {
+		t.Errorf("EquilibriumCells %d, want 4", got)
+	}
+	if a.EquilibriumIters.Load() <= 0 {
+		t.Error("contending cells converged in zero recorded iterations")
+	}
+	b := run(4)
+	if a.EquilibriumIters.Load() != b.EquilibriumIters.Load() {
+		t.Errorf("equilibrium iterations depend on worker count: %d vs %d",
+			a.EquilibriumIters.Load(), b.EquilibriumIters.Load())
+	}
+
+	// First-order couplings gather but never solve.
+	st := &Stats{}
+	f := testFleet(40, 2, 9)
+	f.Loads = testGenerator().LoadScenario()
+	f.Coupling = &Coupling{Cells: 4}
+	f.Stats = st
+	if _, _, err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Phase1GatherNS.Load() <= 0 {
+		t.Error("first-order coupled sweep recorded no gather time")
+	}
+	if st.Phase1SolveNS.Load() != 0 || st.EquilibriumCells.Load() != 0 {
+		t.Errorf("first-order sweep recorded a solve: solveNS=%d cells=%d",
+			st.Phase1SolveNS.Load(), st.EquilibriumCells.Load())
+	}
+}
+
+// TestStatsWindowDrainsOnAbort pins the gauge cleanup on the failure
+// path: a sink that aborts mid-sweep strands parked reports, and the
+// engine must release them from WindowDepth before returning.
+func TestStatsWindowDrainsOnAbort(t *testing.T) {
+	st := &Stats{}
+	f := testFleet(60, 4, 3)
+	f.Stats = st
+	seen := 0
+	killer := SinkFunc(func(rec telemetry.Record) error {
+		if seen == 20 {
+			return fmt.Errorf("simulated kill")
+		}
+		seen++
+		return nil
+	})
+	if _, err := f.Stream(killer); err == nil {
+		t.Fatal("kill-sink did not abort")
+	}
+	if got := st.WindowDepth.Load(); got != 0 {
+		t.Errorf("WindowDepth %d after aborted sweep, want 0", got)
+	}
+}
+
+// TestStatsNilSafe pins that the unexported helpers tolerate a nil
+// receiver — the engine calls them unconditionally on the hot path.
+func TestStatsNilSafe(t *testing.T) {
+	var s *Stats
+	s.wearerDone(10)
+	s.windowAdd(1)
+	f := testFleet(10, 2, 1)
+	f.Span = 5 * units.Second
+	if _, _, err := f.Run(); err != nil { // Stats nil: the default path
+		t.Fatal(err)
+	}
+}

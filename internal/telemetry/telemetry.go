@@ -215,6 +215,47 @@ func (m *Meta) validate() error {
 	return nil
 }
 
+// RequiredVersion is the oldest format that can represent a sweep:
+// uncoupled sweeps read and write any version, coupled sweeps need the v1
+// cell columns, feedback sweeps the v2 equilibrium columns, and series
+// sampling the v3 series frames.
+func RequiredVersion(cells int, feedback, series bool) int {
+	switch {
+	case series:
+		return FormatV3
+	case feedback:
+		return FormatV2
+	case cells > 0:
+		return FormatV1
+	}
+	return FormatV0
+}
+
+// AdoptVersion picks the format a resumed sweep continues in: the store's
+// own (older) format when it can still represent the requested sweep, and
+// the current format otherwise — so the caller's meta equality guard
+// surfaces the mismatch instead of the writer silently dropping columns.
+// Both fleet front ends (cmd/iobfleet -resume and the iobfleetd daemon's
+// restart recovery) apply this same rule, which is why it lives here.
+func AdoptVersion(storeVersion, cells int, feedback, series bool) int {
+	if storeVersion >= RequiredVersion(cells, feedback, series) {
+		return storeVersion
+	}
+	return CurrentFormat
+}
+
+// CreateVersion picks the format for a freshly created store: the v3
+// series frames only when the sweep samples series, and otherwise exactly
+// the format the previous release wrote — a series-off sweep must produce
+// a byte-identical store, not a gratuitous v3 one (pinned by
+// TestSeriesOffStoreByteGolden).
+func CreateVersion(series bool) int {
+	if series {
+		return FormatV3
+	}
+	return FormatV2
+}
+
 // checkVersion rejects stores written by a newer (or nonsensical) format
 // than this binary decodes.
 func checkVersion(m Meta) error {

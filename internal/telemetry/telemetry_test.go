@@ -721,3 +721,88 @@ func staleCheckpoint(t *testing.T, path string, blockSize int) []byte {
 	}
 	return ck
 }
+
+// TestOnCommitHook pins the block-commit tick a progress stream rides:
+// the callback fires once per committed block, strictly after the
+// checkpoint is durable, with monotone blocks/records/bytes that agree
+// with the writer's own accounting — and a clean Close fires it for the
+// short tail block too.
+func TestOnCommitHook(t *testing.T) {
+	const n, blockSize = 21, 8 // 2 full blocks + 5-record tail
+	path := filepath.Join(t.TempDir(), "hook.wtl")
+	w, err := Create(path, testMeta(n, blockSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type tick struct {
+		blocks, records int
+		bytes           int64
+	}
+	var ticks []tick
+	w.OnCommit = func(blocks, records int, bytes int64) {
+		// The checkpoint must already cover this commit when the hook runs:
+		// a daemon that streams "records committed" on this tick promises
+		// those records survive a kill.
+		ck, err := readCheckpoint(path, testMeta(n, blockSize))
+		if err != nil {
+			t.Errorf("hook ran before a readable checkpoint: %v", err)
+			return
+		}
+		if ck.NextWearer != records || ck.Offset != bytes {
+			t.Errorf("hook saw records=%d bytes=%d but checkpoint says next=%d offset=%d",
+				records, bytes, ck.NextWearer, ck.Offset)
+		}
+		ticks = append(ticks, tick{blocks, records, bytes})
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Consume(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(ticks) != 2 {
+		t.Fatalf("hook fired %d times before Close, want 2 full blocks", len(ticks))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) != 3 {
+		t.Fatalf("hook fired %d times after Close, want 3 (tail block included)", len(ticks))
+	}
+	want := []tick{{1, 8, ticks[0].bytes}, {2, 16, ticks[1].bytes}, {3, 21, ticks[2].bytes}}
+	for i, tk := range ticks {
+		if tk != want[i] {
+			t.Errorf("tick %d: got %+v want %+v", i, tk, want[i])
+		}
+		if i > 0 && tk.bytes <= ticks[i-1].bytes {
+			t.Errorf("tick %d: bytes %d not monotone over %d", i, tk.bytes, ticks[i-1].bytes)
+		}
+	}
+}
+
+// TestVersionHelpers pins the shared front-end version rules: the oldest
+// format that can represent a sweep, and the create rule that keeps
+// series-off stores byte-identical to v2-era ones.
+func TestVersionHelpers(t *testing.T) {
+	for _, c := range []struct {
+		cells    int
+		feedback bool
+		series   bool
+		want     int
+	}{
+		{0, false, false, FormatV0},
+		{4, false, false, FormatV1},
+		{4, true, false, FormatV2},
+		{4, true, true, FormatV3},
+		{0, false, true, FormatV3},
+	} {
+		if got := RequiredVersion(c.cells, c.feedback, c.series); got != c.want {
+			t.Errorf("RequiredVersion(%d,%t,%t) = v%d, want v%d", c.cells, c.feedback, c.series, got, c.want)
+		}
+	}
+	if got := CreateVersion(false); got != FormatV2 {
+		t.Errorf("CreateVersion(false) = v%d, want v%d", got, FormatV2)
+	}
+	if got := CreateVersion(true); got != FormatV3 {
+		t.Errorf("CreateVersion(true) = v%d, want v%d", got, FormatV3)
+	}
+}

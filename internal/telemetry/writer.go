@@ -33,6 +33,15 @@ type Writer struct {
 	entries []indexEntry
 	reindex bool
 	closed  bool
+
+	// OnCommit, when non-nil, is invoked after every committed block once
+	// its checkpoint is durable, with the writer's running totals: committed
+	// blocks, committed records and the committed data-file length in bytes.
+	// It runs synchronously on the Consume path — the block-commit tick a
+	// progress stream or metrics exporter rides — so it must be fast and
+	// must not call back into the writer. Set it after Create or Resume,
+	// before the first Consume.
+	OnCommit func(blocks, records int, bytes int64)
 }
 
 // encodeHeader renders the file header for meta.
@@ -176,6 +185,10 @@ func (w *Writer) NextWearer() int { return w.next }
 // Blocks reports committed blocks.
 func (w *Writer) Blocks() int { return w.blocks }
 
+// Offset reports the committed (checkpointed) data-file length in bytes,
+// header included — the store size a kill at this instant preserves.
+func (w *Writer) Offset() int64 { return w.offset }
+
 // Consume appends one wearer record; it implements the fleet engine's
 // Sink interface. Records must arrive in strict wearer order. The writer
 // copies the record's node slice, so callers may reuse theirs.
@@ -248,7 +261,13 @@ func (w *Writer) commit() error {
 	w.buf = w.buf[:0]
 	w.nodes = w.nodes[:0]
 	w.points = w.points[:0]
-	return w.writeCheckpoint()
+	if err := w.writeCheckpoint(); err != nil {
+		return err
+	}
+	if w.OnCommit != nil {
+		w.OnCommit(w.blocks, w.next, w.offset)
+	}
+	return nil
 }
 
 // Flush commits any buffered records as a short block. The fleet engine
