@@ -67,7 +67,10 @@ func TestChaosKillResume(t *testing.T) {
 		done := d2.awaitStatus(id, statusDone, 180*time.Second)
 		var spec sweepSpec
 		mustUnmarshalSpec(t, specs[i], &spec)
-		f, _ := spec.build(nil)
+		f, _, err := spec.build(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
 		rep, _, err := f.Run()
 		if err != nil {
 			t.Fatal(err)

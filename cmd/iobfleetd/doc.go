@@ -4,23 +4,33 @@
 //
 // Usage:
 //
-//	iobfleetd -listen 127.0.0.1:9370 -data /var/lib/iobfleetd -sweeps 2
+//	iobfleetd -listen 127.0.0.1:9370 -data /var/lib/iobfleetd -sweeps 2 \
+//	    [-backends http://b0:9370,http://b1:9370]
 //
 // # Endpoints
 //
 // Submissions are the iobfleet flag surface as JSON (wearers, seed,
 // dur_seconds, workers, per_spread, batt_spread, harvest_prob,
 // drop_prob, ble_frac, drain, cells, density, feedback, max_iters,
-// tol_ppm, series_seconds, block_size — all literal, no server-side
-// defaults beyond zero values):
+// tol_ppm, series_seconds, block_size, shards — all literal, no
+// server-side defaults beyond zero values):
 //
-//	POST /api/sweeps                submit → 202 + sweep state
-//	GET  /api/sweeps                all sweeps, submission order
-//	GET  /api/sweeps/{id}           one sweep's state
-//	GET  /api/sweeps/{id}/progress  NDJSON progress stream (curl -N)
-//	GET  /metrics                   Prometheus text exposition 0.0.4
-//	GET  /healthz                   liveness
-//	GET  /debug/pprof/...           live profiling
+//	POST /api/sweeps                    submit → 202 + sweep state
+//	GET  /api/sweeps                    all sweeps, submission order
+//	GET  /api/sweeps/{id}               one sweep's state
+//	GET  /api/sweeps/{id}/progress      NDJSON progress stream (curl -N)
+//	POST /api/loads                     phase-1 gather for a shard spec
+//	GET  /api/sweeps/{id}/store         committed telemetry prefix
+//	GET  /api/sweeps/{id}/shards/{k}/store  a coordinator's shard partial
+//	GET  /metrics                       Prometheus text exposition 0.0.4
+//	GET  /healthz                       readiness (503 while draining)
+//	GET  /debug/pprof/...               live profiling
+//
+// The store endpoints serve exactly the checkpointed byte prefix —
+// never the volatile tail or the trailing index — honoring ?from= for
+// incremental pulls and reporting X-Committed-Offset, X-Next-Wearer
+// and X-Sweep-Status headers, which is what makes a store an
+// append-only replication feed.
 //
 //	curl -d '{"wearers":1000,"seed":42,"dur_seconds":600,"cells":50}' \
 //	    localhost:9370/api/sweeps
@@ -32,7 +42,10 @@
 // on committed blocks, and the /metrics byte/block counters count only
 // checkpointed writes. Progress events are full state snapshots, lossy
 // for intermediate ticks under a slow reader but guaranteed for the
-// final line ("final": true).
+// final line ("final": true). Submissions past the queue cap are
+// refused with 503 before an ID is allocated or anything touches disk;
+// recovery on restart bypasses the cap entirely, so a backlog larger
+// than it re-queues rather than deadlocking startup.
 //
 // # Metric catalog
 //
@@ -69,8 +82,51 @@
 //	                                    TotalAlloc delta per sweep — an
 //	                                    upper bound under concurrency)
 //
+// Shard dispatch (coordinator side):
+//
+//	iobfleetd_shards_dispatched_total   sub-sweeps shipped to a backend
+//	iobfleetd_shard_retries_total       dispatch/stream attempts retried
+//	iobfleetd_shard_fetch_bytes_total   committed store bytes pulled back
+//	iobfleetd_backends_configured       size of the -backends list (gauge)
+//
 // Go runtime: iobfleetd_goroutines, iobfleetd_heap_alloc_bytes,
 // iobfleetd_gc_cycles_total.
+//
+// # Sharded dispatch
+//
+// A sweep submitted with "shards": N > 1 makes this daemon a
+// coordinator: it splits the wearer range [0, Wearers) into N
+// contiguous sub-ranges, submits each as an ordinary sweep (same spec,
+// first_wearer/end_wearer set, shards stripped) to the backends named
+// by -backends — or to itself over loopback when the flag is unset,
+// which needs spare -sweeps slots because the coordinator sweep
+// occupies one while its shards run — then streams each shard's
+// committed store bytes back incrementally and merges the replicas
+// into one <id>.wtl. Because per-wearer seeds derive from absolute
+// indices and block boundaries are deterministic, every backend
+// executing a given shard writes the identical byte sequence, so the
+// merged store — fingerprint, blocks, checkpoint and trailing index —
+// is bit-identical to the same spec run unsharded in a single process.
+//
+// Feedback coupling adds a round: the coordinator first POSTs each
+// range to /api/loads on its backends, merges the partial load tables
+// and member windows, runs the one deterministic equilibrium solve
+// itself, and ships each shard its windowed slice of the solution in
+// the sub-spec, so phase 2 everywhere sees the exact equilibrium a
+// single process would have computed.
+//
+// The fault model is label-idempotent re-dispatch. Sub-sweeps carry a
+// deterministic label; re-submitting one is a no-op on a backend that
+// already holds it, so a lost connection just re-asks. A backend that
+// dies and comes back on the same address resumes its recovered shard
+// from its own checkpoint; a replacement backend with an empty data
+// dir seed-pulls the coordinator's partial replica (the shards/{k}
+// endpoint) and appends from there. Backend selection consults
+// /healthz, which reports readiness — 200 while accepting work, 503
+// once draining — so a draining backend stops receiving shards.
+// TestShardedFingerprint (bytes and fingerprint vs an unsharded run,
+// both coupling modes) and TestShardedChaosKillResume (a backend
+// SIGKILLed mid-sweep and resurrected) pin the contract.
 //
 // # Drain and restart
 //

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -16,18 +17,25 @@ import (
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:9370", "HTTP listen address (host:port; port 0 picks a free port)")
-		data   = flag.String("data", "iobfleetd.data", "directory for telemetry stores and sweep state sidecars")
-		sweeps = flag.Int("sweeps", 2, "sweeps running concurrently (queue is unbounded in practice)")
+		listen   = flag.String("listen", "127.0.0.1:9370", "HTTP listen address (host:port; port 0 picks a free port)")
+		data     = flag.String("data", "iobfleetd.data", "directory for telemetry stores and sweep state sidecars")
+		sweeps   = flag.Int("sweeps", 2, "sweeps running concurrently (a coordinator sweep occupies one slot while its shards run)")
+		backends = flag.String("backends", "", "comma-separated base URLs sharded sweeps dispatch to (empty = this daemon runs its own shards)")
 	)
 	flag.Parse()
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "iobfleetd: "+format+"\n", args...)
 		os.Exit(1)
 	}
+	var backendList []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimRight(strings.TrimSpace(b), "/"); b != "" {
+			backendList = append(backendList, b)
+		}
+	}
 
 	reg := obs.NewRegistry()
-	m, err := newManager(*data, *sweeps, reg)
+	m, err := newManager(*data, *sweeps, reg, backendList)
 	if err != nil {
 		fail("%v", err)
 	}
@@ -37,7 +45,10 @@ func main() {
 		fail("%v", err)
 	}
 	// The actual address, not the flag: with -listen :0 this line is how
-	// scripts (and the exec-level tests) learn the port.
+	// scripts (and the exec-level tests) learn the port. Runners start only
+	// now — a recovered coordinator sweep needs the daemon's own address
+	// (loopback dispatch, seed-store URLs) before it may run.
+	m.start("http://" + ln.Addr().String())
 	fmt.Printf("iobfleetd: listening on http://%s (data %s, %d sweep slots)\n",
 		ln.Addr(), *data, *sweeps)
 

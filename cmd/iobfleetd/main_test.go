@@ -448,7 +448,10 @@ func TestDaemonDrainAndResume(t *testing.T) {
 	if err := js.normalize(); err != nil {
 		t.Fatal(err)
 	}
-	f, _ := js.build(nil)
+	f, _, err := js.build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	rep, _, err := f.Run()
 	if err != nil {
 		t.Fatal(err)

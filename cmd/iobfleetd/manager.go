@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
+	"reflect"
 	"runtime"
 	"sort"
 	"sync"
@@ -122,26 +124,39 @@ func (sw *sweep) publish(final bool) {
 	}
 }
 
+// defaultQueueCap bounds how many sweeps may wait for a runner before
+// submissions are refused. Recovery is exempt: a restart re-queues every
+// non-terminal sidecar however many there are, so a daemon can always
+// pick its own state back up.
+const defaultQueueCap = 4096
+
 // manager owns the sweep set: submissions, the bounded runner pool, the
-// sidecar persistence, crash recovery and the drain protocol.
+// sidecar persistence, crash recovery, the drain protocol and — for
+// sweeps with a shards field — the multi-backend coordinator.
 type manager struct {
 	dir     string
 	stats   *fleet.Stats // shared by every sweep; counters accumulate daemon-wide
 	metrics *daemonMetrics
 
-	queue chan *sweep
 	drain chan struct{} // closed when draining; never reopened
 	wg    sync.WaitGroup
 
-	mu      sync.Mutex
-	sweeps  map[string]*sweep
-	order   []string // submission order (ID order)
-	nextID  int
-	queued  int
-	running int
+	backends []string // shard dispatch targets; empty = loopback self-dispatch
+	selfBase string   // this daemon's own base URL, set by start() after listen
+	client   *http.Client
+	slots    int
 
-	prevBytes  int64 // for the telemetry byte/block counters (mu-guarded)
-	prevBlocks int
+	mu       sync.Mutex
+	cond     *sync.Cond // wakes runners when pending gains work or drain begins
+	pending  []*sweep   // FIFO of sweeps awaiting a runner (unbounded; queueCap gates submissions only)
+	draining bool
+	queueCap int
+	sweeps   map[string]*sweep
+	order    []string          // submission order (ID order)
+	byLabel  map[string]string // shard label → sweep ID (idempotent re-dispatch)
+	nextID   int
+	queued   int
+	running  int
 }
 
 // daemonMetrics is the daemon's own event-driven metric set. The
@@ -151,13 +166,16 @@ type manager struct {
 type daemonMetrics struct {
 	submitted, started, completed, failed, interrupted, resumed *obs.Counter
 	blocksWritten, bytesWritten                                 *obs.Counter
+	shardsDispatched, shardRetries, shardFetchBytes             *obs.Counter
 	sweepSeconds, phase1Seconds, allocBytes                     *obs.Histogram
 }
 
 // newManager loads any sweeps a previous process left in dir, re-queues
-// the unfinished ones, registers the full metric catalog on reg, and
-// starts `slots` runner goroutines.
-func newManager(dir string, slots int, reg *obs.Registry) (*manager, error) {
+// the unfinished ones, and registers the full metric catalog on reg.
+// Runners do not start until start() — recovery therefore cannot block
+// on queue capacity (it stages into an unbounded pending list), and a
+// coordinator sweep never runs before the daemon knows its own address.
+func newManager(dir string, slots int, reg *obs.Registry, backends []string) (*manager, error) {
 	if slots < 1 {
 		slots = 1
 	}
@@ -165,21 +183,33 @@ func newManager(dir string, slots int, reg *obs.Registry) (*manager, error) {
 		return nil, err
 	}
 	m := &manager{
-		dir:    dir,
-		stats:  &fleet.Stats{},
-		queue:  make(chan *sweep, 4096),
-		drain:  make(chan struct{}),
-		sweeps: make(map[string]*sweep),
+		dir:      dir,
+		stats:    &fleet.Stats{},
+		drain:    make(chan struct{}),
+		backends: backends,
+		client:   &http.Client{Timeout: 30 * time.Second},
+		slots:    slots,
+		queueCap: defaultQueueCap,
+		sweeps:   make(map[string]*sweep),
+		byLabel:  make(map[string]string),
 	}
+	m.cond = sync.NewCond(&m.mu)
 	m.registerMetrics(reg)
 	if err := m.recover(); err != nil {
 		return nil, err
 	}
-	for i := 0; i < slots; i++ {
+	return m, nil
+}
+
+// start records the daemon's own base URL (the loopback shard-dispatch
+// target and seed-store address) and starts the runner pool. Called once
+// the listener is up.
+func (m *manager) start(selfBase string) {
+	m.selfBase = selfBase
+	for i := 0; i < m.slots; i++ {
 		m.wg.Add(1)
 		go m.runner()
 	}
-	return m, nil
 }
 
 // recover scans dir for `<id>.json` sidecars and rebuilds the sweep
@@ -212,30 +242,56 @@ func (m *manager) recover() error {
 		sw := &sweep{st: st}
 		m.sweeps[st.ID] = sw
 		m.order = append(m.order, st.ID)
+		if st.Spec.Label != "" {
+			m.byLabel[st.Spec.Label] = st.ID
+		}
 		if !st.terminal() {
 			sw.st.Status = statusQueued
 			if err := m.persist(sw); err != nil {
 				return err
 			}
 			m.queued++
-			m.queue <- sw
+			// The staging list is unbounded by design: recovery must never
+			// deadlock on how many sweeps a dead process left behind.
+			m.pending = append(m.pending, sw)
 		}
 	}
 	return nil
 }
 
 // submit validates, persists and enqueues a new sweep. A draining
-// daemon refuses submissions so the queue is quiescent at exit.
+// daemon refuses submissions so the queue is quiescent at exit. The
+// queue-capacity check happens BEFORE any state is created: a refused
+// submission leaves no sidecar, no registry entry and no gauge increment
+// — the HTTP response and the on-disk state always agree.
 func (m *manager) submit(spec sweepSpec) (sweepState, error) {
 	if err := spec.normalize(); err != nil {
 		return sweepState{}, err
 	}
-	select {
-	case <-m.drain:
-		return sweepState{}, errDrained
-	default:
-	}
 	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return sweepState{}, errDrained
+	}
+	if spec.Label != "" {
+		if id, ok := m.byLabel[spec.Label]; ok {
+			// Idempotent re-dispatch: a coordinator resubmitting a shard
+			// (after its own restart, or a lost response) gets the existing
+			// sweep back instead of a duplicate simulation.
+			sw := m.sweeps[id]
+			m.mu.Unlock()
+			st := sw.snapshot()
+			if !reflect.DeepEqual(st.Spec, spec) {
+				return sweepState{}, fmt.Errorf("label %q already names sweep %s with a different spec", spec.Label, id)
+			}
+			return st, nil
+		}
+	}
+	if m.queued >= m.queueCap {
+		// Back-pressure the client rather than block the HTTP handler.
+		m.mu.Unlock()
+		return sweepState{}, fmt.Errorf("sweep queue full")
+	}
 	id := fmt.Sprintf("s%06d", m.nextID)
 	m.nextID++
 	sw := &sweep{st: sweepState{ID: id, Spec: spec, Status: statusQueued}}
@@ -245,17 +301,14 @@ func (m *manager) submit(spec sweepSpec) (sweepState, error) {
 	}
 	m.sweeps[id] = sw
 	m.order = append(m.order, id)
+	if spec.Label != "" {
+		m.byLabel[spec.Label] = id
+	}
 	m.queued++
+	m.pending = append(m.pending, sw)
+	m.cond.Signal()
 	m.mu.Unlock()
 	m.metrics.submitted.Inc()
-	select {
-	case m.queue <- sw:
-	default:
-		// Queue full (4096 outstanding sweeps): back-pressure the client
-		// rather than block the HTTP handler. The sidecar stays queued, so
-		// a restart re-enqueues it — "try again later" loses nothing.
-		return sweepState{}, fmt.Errorf("sweep queue full")
-	}
 	return sw.snapshot(), nil
 }
 
@@ -303,13 +356,21 @@ func (m *manager) persist(sw *sweep) error {
 // the daemon drains.
 func (m *manager) runner() {
 	defer m.wg.Done()
+	m.mu.Lock()
 	for {
-		select {
-		case <-m.drain:
+		if m.draining {
+			m.mu.Unlock()
 			return
-		case sw := <-m.queue:
-			m.run(sw)
 		}
+		if len(m.pending) > 0 {
+			sw := m.pending[0]
+			m.pending = m.pending[1:]
+			m.mu.Unlock()
+			m.run(sw)
+			m.mu.Lock()
+			continue
+		}
+		m.cond.Wait()
 	}
 }
 
@@ -319,39 +380,69 @@ func (m *manager) runner() {
 // exited — after it returns, every sweep is queued, interrupted or
 // terminal, and the process may exit.
 func (m *manager) beginDrain() {
-	select {
-	case <-m.drain:
-	default:
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
 		close(m.drain)
+		m.cond.Broadcast()
 	}
+	m.mu.Unlock()
 	m.wg.Wait()
+}
+
+// isDraining reports whether the daemon is shutting down — the health
+// endpoint's readiness signal, so coordinators stop routing shards here.
+func (m *manager) isDraining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
 }
 
 // run executes one sweep to a terminal or interrupted state.
 func (m *manager) run(sw *sweep) {
-	select {
-	case <-m.drain:
-		return // stays queued; the sidecar already says so
-	default:
+	m.mu.Lock()
+	if m.draining {
+		// Hand the sweep back to the front of the queue instead of
+		// dropping it on the floor: it stays "queued" in memory, on disk
+		// AND in the queued gauge — a coordinator watching backend gauges
+		// during drain sees real load, not phantom drift.
+		m.pending = append([]*sweep{sw}, m.pending...)
+		m.mu.Unlock()
+		return
 	}
+	m.mu.Unlock()
 	m.setStatus(sw, statusRunning, "")
 	m.metrics.started.Inc()
 
 	storePath := filepath.Join(m.dir, sw.st.ID+".wtl")
 	spec := sw.snapshot().Spec
-	f, meta := spec.build(m.stats)
+	if spec.Shards > 0 {
+		m.runSharded(sw, spec, storePath)
+		return
+	}
+	f, meta, err := spec.build(m.stats)
+	if err != nil {
+		m.finish(sw, statusFailed, err.Error())
+		return
+	}
 	agg := fleet.NewStreamAggregator(f.Span)
 
 	// Create or resume the telemetry store. A checkpointed store means a
 	// previous process died (or drained) mid-sweep: adopt its format,
 	// verify it describes this spec, replay the committed prefix into the
-	// aggregator and start the engine at the checkpoint.
+	// aggregator and start the engine at the checkpoint. A shard sub-sweep
+	// with no local store first tries the coordinator's seed-store URL —
+	// the blocks already replicated off a lost backend — and falls back to
+	// a scratch store (bit-identical, just slower) if the pull fails.
 	var store *telemetry.Writer
-	var err error
 	if st, serr := os.Stat(storePath); serr == nil && st.Size() > 0 {
 		store, err = m.resumeStore(sw, storePath, meta, agg, f)
 	} else {
-		store, err = telemetry.Create(storePath, meta)
+		if spec.SeedStoreURL != "" && m.fetchSeedStore(spec.SeedStoreURL, storePath) {
+			store, err = m.resumeStore(sw, storePath, meta, agg, f)
+		} else {
+			store, err = telemetry.Create(storePath, meta)
+		}
 	}
 	if err != nil {
 		m.finish(sw, statusFailed, err.Error())
@@ -362,12 +453,15 @@ func (m *manager) run(sw *sweep) {
 	// commit tick: each callback fires after a block and its checkpoint
 	// are durable, so everything the stream reports is crash-safe truth.
 	baseBlocks, baseBytes := store.Blocks(), store.Offset()
+	firstWearer, _ := meta.Range()
 	store.OnCommit = func(blocks, records int, bytes int64) {
 		m.metrics.blocksWritten.Add(float64(blocks - baseBlocks))
 		m.metrics.bytesWritten.Add(float64(bytes - baseBytes))
 		baseBlocks, baseBytes = blocks, bytes
 		sw.mu.Lock()
-		sw.st.Blocks, sw.st.Records, sw.st.Bytes = blocks, records, bytes
+		// records is the writer's absolute next wearer; Records counts the
+		// sweep's own committed records, so a shard store subtracts its base.
+		sw.st.Blocks, sw.st.Records, sw.st.Bytes = blocks, records-firstWearer, bytes
 		sw.publish(false)
 		sw.mu.Unlock()
 	}
@@ -432,9 +526,11 @@ func (m *manager) resumeStore(sw *sweep, path string, meta telemetry.Meta, agg *
 		store.Abort()
 		return nil, err
 	}
-	if replayed != store.NextWearer() {
+	first, _ := got.Range()
+	if first+replayed != store.NextWearer() {
 		store.Abort()
-		return nil, fmt.Errorf("store %s replayed %d records but checkpoint says %d", path, replayed, store.NextWearer())
+		return nil, fmt.Errorf("store %s replayed %d records from wearer %d but checkpoint says next is %d",
+			path, replayed, first, store.NextWearer())
 	}
 	f.Start = store.NextWearer()
 	m.metrics.resumed.Inc()
@@ -510,6 +606,12 @@ func (m *manager) registerMetrics(reg *obs.Registry) {
 			"Telemetry blocks committed (checkpoint durable) across all sweeps.", nil),
 		bytesWritten: reg.NewCounter("iobfleetd_telemetry_bytes_written_total",
 			"Telemetry store bytes committed across all sweeps.", nil),
+		shardsDispatched: reg.NewCounter("iobfleetd_shards_dispatched_total",
+			"Shard sub-sweeps dispatched to backends (re-dispatches after a backend loss included).", nil),
+		shardRetries: reg.NewCounter("iobfleetd_shard_retries_total",
+			"Shard dispatch/poll/fetch attempts retried after a backend error or unhealthy probe.", nil),
+		shardFetchBytes: reg.NewCounter("iobfleetd_shard_fetch_bytes_total",
+			"Shard store bytes replicated between daemons (coordinator pulls and seed-store pulls).", nil),
 		sweepSeconds: reg.NewHistogram("iobfleetd_sweep_duration_seconds",
 			"Wall-clock duration of completed sweeps.", nil,
 			[]float64{0.01, 0.1, 1, 10, 60, 600, 3600}),
@@ -556,6 +658,9 @@ func (m *manager) registerMetrics(reg *obs.Registry) {
 		defer m.mu.Unlock()
 		return float64(m.running)
 	})
+	reg.NewGaugeFunc("iobfleetd_backends_configured",
+		"Shard backends configured via -backends (0 = loopback self-dispatch).", nil,
+		func() float64 { return float64(len(m.backends)) })
 
 	reg.NewGaugeFunc("iobfleetd_goroutines", "Goroutines in the daemon process.", nil,
 		func() float64 { return float64(runtime.NumGoroutine()) })

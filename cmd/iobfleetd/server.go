@@ -3,25 +3,40 @@ package main
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"strconv"
 
 	"wiban/internal/obs"
+	"wiban/internal/telemetry"
 )
 
 // newMux wires the daemon's HTTP surface:
 //
-//	GET  /healthz                   liveness (always 200 while serving)
+//	GET  /healthz                   readiness: 200 while accepting work, 503 once draining
 //	GET  /metrics                   Prometheus text exposition
 //	POST /api/sweeps                submit a sweep (sweepSpec JSON) → 202 + state
 //	GET  /api/sweeps                all sweeps, submission order
 //	GET  /api/sweeps/{id}           one sweep's state
 //	GET  /api/sweeps/{id}/progress  NDJSON stream riding the block-commit tick
+//	POST /api/loads                 shard protocol: gather a wearer range's offered loads
+//	GET  /api/sweeps/{id}/store     shard protocol: committed store bytes from an offset
+//	GET  /api/sweeps/{id}/shards/{k}/store  coordinator's partial shard copy (seed store)
 //	GET  /debug/pprof/...           Go profiling endpoints
 func newMux(m *manager, reg *obs.Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		// Health is readiness, not liveness: a draining daemon 503s POSTs,
+		// so it must 503 here too — coordinators select backends by this
+		// probe, and "healthy but refuses work" would stall shard dispatch.
+		if m.isDraining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("draining\n"))
+			return
+		}
 		w.Write([]byte("ok\n"))
 	})
 	mux.Handle("GET /metrics", reg.Handler())
@@ -61,6 +76,106 @@ func newMux(m *manager, reg *obs.Registry) *http.ServeMux {
 			return
 		}
 		streamProgress(w, r, sw)
+	})
+	mux.HandleFunc("POST /api/loads", func(w http.ResponseWriter, r *http.Request) {
+		// The shard protocol's loads round: gather the spec's wearer range's
+		// offered loads (and, in feedback mode, its members) and return them
+		// for the coordinator to merge. Pure computation — no sweep state is
+		// created — but a draining daemon still refuses so coordinators
+		// rotate away before the process exits mid-gather.
+		if m.isDraining() {
+			httpError(w, http.StatusServiceUnavailable, "draining; ask another backend")
+			return
+		}
+		var spec sweepSpec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, "bad sweep spec: "+err.Error())
+			return
+		}
+		if err := spec.normalize(); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if spec.Cells <= 0 {
+			httpError(w, http.StatusBadRequest, "loads gather on an uncoupled spec")
+			return
+		}
+		f, _, err := spec.build(m.stats)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		loads, members, err := f.GatherLoads()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, loadsResponse{Loads: loads.Export(), Members: members})
+	})
+	mux.HandleFunc("GET /api/sweeps/{id}/store", func(w http.ResponseWriter, r *http.Request) {
+		// The shard protocol's replication feed: the store's committed bytes
+		// from ?from= (default 0) to the checkpoint. Safe against a live
+		// writer — the checkpoint bounds the read, and committed bytes never
+		// change — and never serves the trailing index frame, which lies
+		// past the final checkpoint by design.
+		sw, ok := m.get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such sweep")
+			return
+		}
+		path := m.storePath(sw.snapshot().ID)
+		_, off, next, err := telemetry.Committed(path)
+		if err != nil {
+			httpError(w, http.StatusNotFound, "no committed store yet: "+err.Error())
+			return
+		}
+		from := int64(0)
+		if q := r.URL.Query().Get("from"); q != "" {
+			if from, err = strconv.ParseInt(q, 10, 64); err != nil || from < 0 {
+				httpError(w, http.StatusBadRequest, "bad from offset")
+				return
+			}
+		}
+		if from > off {
+			from = off // nothing new; serve an empty range rather than error
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		defer f.Close()
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Committed-Offset", strconv.FormatInt(off, 10))
+		w.Header().Set("X-Next-Wearer", strconv.Itoa(next))
+		w.Header().Set("X-Sweep-Status", sw.snapshot().Status)
+		w.Header().Set("Content-Length", strconv.FormatInt(off-from, 10))
+		io.Copy(w, io.NewSectionReader(f, from, off-from))
+	})
+	mux.HandleFunc("GET /api/sweeps/{id}/shards/{k}/store", func(w http.ResponseWriter, r *http.Request) {
+		// The coordinator's partial copy of shard k's store — the seed a
+		// replacement backend resumes from. Served whole and unvalidated:
+		// the receiver's scan-resume truncates any torn tail.
+		sw, ok := m.get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such sweep")
+			return
+		}
+		k, err := strconv.Atoi(r.PathValue("k"))
+		if err != nil || k < 0 {
+			httpError(w, http.StatusBadRequest, "bad shard index")
+			return
+		}
+		f, err := os.Open(m.shardPath(sw.snapshot().ID, k))
+		if err != nil {
+			httpError(w, http.StatusNotFound, "no partial store for this shard")
+			return
+		}
+		defer f.Close()
+		w.Header().Set("Content-Type", "application/octet-stream")
+		io.Copy(w, f)
 	})
 	// pprof must be mounted by hand: the stdlib's init() registers on
 	// http.DefaultServeMux, which this daemon deliberately does not serve.

@@ -1,0 +1,591 @@
+package main
+
+// The coordinator half of the shard protocol. A sweep submitted with a
+// shards field splits into contiguous wearer-range sub-sweeps dispatched
+// to backend daemons (-backends, or this daemon itself) over the ordinary
+// HTTP API. Coupled sweeps run two rounds: every shard first gathers its
+// range's offered loads (POST /api/loads), the coordinator merges the
+// partial tables — integer sums, so any partition merges bit-exactly —
+// and, in feedback mode, runs the one deterministic equilibrium solve;
+// the dispatch round then ships each shard its window of the solved
+// results. Shard stores replicate back block by block as they commit and
+// merge into one store bit-identical to a single-process run.
+//
+// Fault model: a backend lost mid-shard is re-dispatched — to itself
+// after a restart (the label finds the recovered sweep, which resumes
+// from its local checkpoint) or to a replacement backend (which pulls the
+// coordinator's partial copy as its seed store). Either way the shard's
+// byte stream continues exactly where replication stopped, because every
+// backend executing a shard writes the identical byte sequence.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"wiban/internal/fleet"
+	"wiban/internal/spectrum"
+	"wiban/internal/telemetry"
+	"wiban/internal/units"
+)
+
+// shardPollInterval paces the supervisor's status/fetch loop against a
+// healthy backend; retries after a backend error back off separately.
+const shardPollInterval = 50 * time.Millisecond
+
+// loadsResponse is the shard side's answer to POST /api/loads: the
+// range's partial per-cell load table and, in feedback mode, its members
+// in range order.
+type loadsResponse struct {
+	Loads   []spectrum.CellLoad `json:"loads"`
+	Members []spectrum.Member   `json:"members,omitempty"`
+}
+
+// shardRanges splits [0, wearers) into shards contiguous ranges, sizes
+// differing by at most one (the first wearers%shards ranges get the extra
+// wearer). Deterministic, so a restarted coordinator re-derives the same
+// tiling.
+func shardRanges(wearers, shards int) [][2]int {
+	base, extra := wearers/shards, wearers%shards
+	out := make([][2]int, shards)
+	next := 0
+	for k := range out {
+		n := base
+		if k < extra {
+			n++
+		}
+		out[k] = [2]int{next, next + n}
+		next += n
+	}
+	return out
+}
+
+// shardSub derives shard k's sub-spec: the same sweep identity with the
+// shard's wearer range and no coordinator knob. The loads round sends it
+// bare; the dispatch round adds Label, SeedStoreURL and Presolved.
+func shardSub(spec sweepSpec, rng [2]int) sweepSpec {
+	sub := spec
+	sub.Shards = 0
+	sub.FirstWearer = rng[0]
+	sub.EndWearer = rng[1]
+	if sub.EndWearer == sub.Wearers {
+		sub.EndWearer = 0 // the canonical full-range spelling normalize() uses
+	}
+	return sub
+}
+
+func (m *manager) storePath(id string) string { return filepath.Join(m.dir, id+".wtl") }
+
+func (m *manager) shardPath(id string, k int) string {
+	return filepath.Join(m.dir, fmt.Sprintf("%s.shard%d.wtl", id, k))
+}
+
+// backendFor is shard k's dispatch target on the given attempt: shards
+// spread round-robin over -backends and rotate on failure; with none
+// configured every shard loops back to this daemon itself.
+func (m *manager) backendFor(k, attempt int) string {
+	if len(m.backends) == 0 {
+		return m.selfBase
+	}
+	return m.backends[(k+attempt)%len(m.backends)]
+}
+
+// healthy probes a backend's readiness. A draining backend answers 503
+// (it would refuse the submission anyway), so selection skips it.
+func (m *manager) healthy(base string) bool {
+	resp, err := m.client.Get(base + "/healthz")
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// drained reports whether the daemon began draining; pause sleeps without
+// outliving a drain.
+func (m *manager) drained() bool {
+	select {
+	case <-m.drain:
+		return true
+	default:
+		return false
+	}
+}
+
+func (m *manager) pause(d time.Duration) {
+	select {
+	case <-m.drain:
+	case <-time.After(d):
+	}
+}
+
+// backoffDelay is the retry pacing after a backend error: 50ms doubling
+// to a 500ms ceiling, so a killed backend's replacement is found within a
+// poll or two without hammering a struggling one.
+func backoffDelay(attempt int) time.Duration {
+	d := 50 * time.Millisecond
+	for i := 0; i < attempt && d < 500*time.Millisecond; i++ {
+		d *= 2
+	}
+	if d > 500*time.Millisecond {
+		d = 500 * time.Millisecond
+	}
+	return d
+}
+
+// httpStatusError is a non-2xx backend answer, kept typed so dispatch can
+// tell a permanent rejection (a 400 is deterministic — the same spec will
+// be rejected again) from a transient one worth retrying elsewhere.
+type httpStatusError struct {
+	code int
+	msg  string
+}
+
+func (e *httpStatusError) Error() string { return fmt.Sprintf("HTTP %d: %s", e.code, e.msg) }
+
+func permanent(err error) bool {
+	var se *httpStatusError
+	return errors.As(err, &se) && se.code == http.StatusBadRequest
+}
+
+func (m *manager) postJSON(url string, in, out any) error {
+	raw, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := m.client.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		return &httpStatusError{resp.StatusCode, strings.TrimSpace(string(body))}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(body, out)
+}
+
+func (m *manager) getJSON(url string, out any) error {
+	resp, err := m.client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return &httpStatusError{resp.StatusCode, strings.TrimSpace(string(body))}
+	}
+	return json.Unmarshal(body, out)
+}
+
+// runSharded executes a coordinator sweep: the loads round across the
+// shard backends (coupled sweeps only), the shard sub-sweeps themselves
+// with their stores replicated back as they commit, then the merge into
+// one full-population store. The merged store, its fingerprint and its
+// trailing index are bit-identical to a single-process run of the same
+// spec: phase 1 merges commutative integer tables, the solve is a pure
+// function of the concatenated members, phase-2 records are pure
+// functions of (seed, wearer, tables), and the merge re-encodes the
+// identical record sequence through the same Writer.
+func (m *manager) runSharded(sw *sweep, spec sweepSpec, storePath string) {
+	start := time.Now()
+	ranges := shardRanges(spec.Wearers, spec.Shards)
+
+	var (
+		loads []spectrum.CellLoad
+		res   *spectrum.Result
+	)
+	if spec.Cells > 0 {
+		var err error
+		if loads, res, err = m.gatherShards(spec, ranges); err != nil {
+			if errors.Is(err, errDrained) {
+				m.finish(sw, statusInterrupted, "")
+				m.metrics.interrupted.Inc()
+				return
+			}
+			m.finish(sw, statusFailed, err.Error())
+			return
+		}
+	}
+
+	// Parent progress is the sum of the shards' committed record counts,
+	// re-published whenever any supervisor learns a new figure. Blocks and
+	// bytes stay 0 until the merge — they describe the merged store.
+	counts := make([]int, len(ranges))
+	var cmu sync.Mutex
+	progress := func(k, records int) {
+		cmu.Lock()
+		counts[k] = records
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		cmu.Unlock()
+		sw.mu.Lock()
+		if total != sw.st.Records {
+			sw.st.Records = total
+			sw.publish(false)
+		}
+		sw.mu.Unlock()
+	}
+
+	paths := make([]string, len(ranges))
+	errs := make([]error, len(ranges))
+	var wg sync.WaitGroup
+	for k := range ranges {
+		paths[k] = m.shardPath(sw.st.ID, k)
+		sub := shardSub(spec, ranges[k])
+		sub.Label = sw.st.ID + "/shard" + strconv.Itoa(k)
+		sub.SeedStoreURL = fmt.Sprintf("%s/api/sweeps/%s/shards/%d/store", m.selfBase, sw.st.ID, k)
+		if spec.Cells > 0 {
+			pre := &presolvedSpec{Loads: loads}
+			if res != nil {
+				pre.Eq = &eqSpec{
+					Table: res.Table().Export(),
+					Iters: res.ExportIters(),
+					Own:   res.ExportOwn(ranges[k][0], ranges[k][1]),
+				}
+			}
+			sub.Presolved = pre
+		}
+		wg.Add(1)
+		go func(k int, sub sweepSpec) {
+			defer wg.Done()
+			errs[k] = m.superviseShard(sub, k, paths[k], progress)
+		}(k, sub)
+	}
+	wg.Wait()
+
+	var failErr error
+	drained := false
+	for _, err := range errs {
+		switch {
+		case errors.Is(err, errDrained):
+			drained = true
+		case err != nil && failErr == nil:
+			failErr = err
+		}
+	}
+	if failErr != nil {
+		m.finish(sw, statusFailed, failErr.Error())
+		return
+	}
+	if drained {
+		// Partials stay on disk: the restarted coordinator re-dispatches by
+		// label and resumes replication exactly where it stopped.
+		m.finish(sw, statusInterrupted, "")
+		m.metrics.interrupted.Inc()
+		return
+	}
+
+	agg := fleet.NewStreamAggregator(units.Duration(spec.DurSeconds))
+	blocks, size, err := telemetry.MergeShards(storePath, paths, agg.Consume)
+	if err != nil {
+		m.finish(sw, statusFailed, err.Error())
+		return
+	}
+	m.metrics.blocksWritten.Add(float64(blocks))
+	m.metrics.bytesWritten.Add(float64(size))
+	m.metrics.sweepSeconds.Observe(time.Since(start).Seconds())
+	sw.mu.Lock()
+	sw.st.Fingerprint = agg.Report().Fingerprint()
+	sw.st.Records = agg.Wearers()
+	sw.st.Blocks = blocks
+	sw.st.Bytes = size
+	sw.mu.Unlock()
+	m.finish(sw, statusDone, "")
+	for _, p := range paths {
+		os.Remove(p)
+		os.Remove(telemetry.CheckpointPath(p))
+	}
+}
+
+// gatherShards is the coupled protocol's loads round: every shard reports
+// its range's partial table concurrently, the coordinator merges them
+// and — in feedback mode — concatenates the member windows by absolute
+// index and runs the one deterministic equilibrium solve. The merged
+// table and solution are bit-identical to an in-process phase 1 because
+// the table sums are commutative integers and Solve is a pure function.
+func (m *manager) gatherShards(spec sweepSpec, ranges [][2]int) ([]spectrum.CellLoad, *spectrum.Result, error) {
+	type gather struct {
+		resp loadsResponse
+		err  error
+	}
+	results := make([]gather, len(ranges))
+	var wg sync.WaitGroup
+	for k := range ranges {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			results[k].resp, results[k].err = m.gatherShard(k, shardSub(spec, ranges[k]))
+		}(k)
+	}
+	wg.Wait()
+
+	total, err := spectrum.NewLoadTable(spec.Cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	var members []spectrum.Member
+	if spec.Feedback {
+		members = make([]spectrum.Member, spec.Wearers)
+	}
+	for k := range results {
+		r := &results[k]
+		if r.err != nil {
+			return nil, nil, r.err
+		}
+		part, err := spectrum.ImportTable(spec.Cells, r.resp.Loads)
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard %d loads: %w", k, err)
+		}
+		if err := total.Merge(part); err != nil {
+			return nil, nil, err
+		}
+		if members != nil {
+			first, end := ranges[k][0], ranges[k][1]
+			if len(r.resp.Members) != end-first {
+				return nil, nil, fmt.Errorf("shard %d returned %d members for range [%d,%d)",
+					k, len(r.resp.Members), first, end)
+			}
+			copy(members[first:end], r.resp.Members)
+		}
+	}
+	loads := total.Export()
+	if members == nil {
+		return loads, nil, nil
+	}
+	solveStart := time.Now()
+	eq := spectrum.Equilibrium{MaxIters: spec.MaxIters, TolPPM: spec.TolPPM}
+	res, err := eq.Solve(spec.Cells, members)
+	if err != nil {
+		return nil, nil, fmt.Errorf("equilibrium phase: %w", err)
+	}
+	m.stats.Phase1SolveNS.Add(time.Since(solveStart).Nanoseconds())
+	var iters int64
+	for _, ci := range res.ExportIters() {
+		iters += int64(ci.Iters)
+	}
+	m.stats.EquilibriumIters.Add(iters)
+	m.stats.EquilibriumCells.Add(int64(spec.Cells))
+	return loads, res, nil
+}
+
+// gatherShard asks one backend for a shard's partial loads, rotating
+// backends until one answers; a 400 is a deterministic spec rejection and
+// fails the sweep, everything else retries.
+func (m *manager) gatherShard(k int, sub sweepSpec) (loadsResponse, error) {
+	var out loadsResponse
+	for attempt := 0; ; attempt++ {
+		if m.drained() {
+			return out, errDrained
+		}
+		b := m.backendFor(k, attempt)
+		if m.healthy(b) {
+			err := m.postJSON(b+"/api/loads", sub, &out)
+			if err == nil {
+				return out, nil
+			}
+			if permanent(err) {
+				return out, fmt.Errorf("shard %d loads rejected by %s: %w", k, b, err)
+			}
+		}
+		m.metrics.shardRetries.Inc()
+		m.pause(backoffDelay(attempt))
+	}
+}
+
+// superviseShard owns one shard from dispatch to full replication. It
+// submits the sub-sweep (idempotently, by label), polls its state, and
+// appends each newly committed byte range of its store to the local
+// partial copy. A backend lost or drained mid-shard is re-dispatched: a
+// restarted backend finds the label in its recovered state and resumes
+// from its own checkpoint; a replacement backend pulls the partial copy
+// as its seed store. Both write the identical byte stream, so the partial
+// only ever extends.
+func (m *manager) superviseShard(sub sweepSpec, k int, path string, progress func(k, records int)) error {
+	local := prepPartial(path)
+	var base, remoteID string
+	attempt := 0
+	for {
+		if m.drained() {
+			return errDrained
+		}
+		if base == "" {
+			b := m.backendFor(k, attempt)
+			attempt++
+			if !m.healthy(b) {
+				m.metrics.shardRetries.Inc()
+				m.pause(backoffDelay(attempt))
+				continue
+			}
+			var st sweepState
+			if err := m.postJSON(b+"/api/sweeps", sub, &st); err != nil {
+				if permanent(err) {
+					return fmt.Errorf("shard %d rejected by %s: %w", k, b, err)
+				}
+				m.metrics.shardRetries.Inc()
+				m.pause(backoffDelay(attempt))
+				continue
+			}
+			base, remoteID = b, st.ID
+			m.metrics.shardsDispatched.Inc()
+		}
+		var st sweepState
+		if err := m.getJSON(base+"/api/sweeps/"+remoteID, &st); err != nil {
+			base = ""
+			m.metrics.shardRetries.Inc()
+			m.pause(backoffDelay(attempt))
+			continue
+		}
+		if st.Status == statusFailed {
+			return fmt.Errorf("shard %d failed on %s: %s", k, base, st.Error)
+		}
+		n, err := m.fetchShard(base, remoteID, path, local)
+		if err != nil {
+			base = ""
+			m.metrics.shardRetries.Inc()
+			m.pause(backoffDelay(attempt))
+			continue
+		}
+		local += n
+		progress(k, st.Records)
+		switch st.Status {
+		case statusDone:
+			// The fetch above ran after the done status was read, and the
+			// store only grows, so the partial now holds every committed byte.
+			return nil
+		case statusInterrupted:
+			// The backend parked the shard for its own drain: re-dispatch —
+			// same label on a restart resumes it, another backend seed-pulls.
+			base = ""
+		}
+		m.pause(shardPollInterval)
+	}
+}
+
+// prepPartial validates the local partial copy of a shard store,
+// truncating any torn tail a kill left mid-append, and reports its
+// trusted byte length (0 after discarding an unusable file). The
+// checkpoint sidecar Resume writes is removed again: the supervisor
+// appends raw fetched bytes past it, so a later restart must re-scan the
+// file rather than trust a stale offset that would discard replicated
+// blocks.
+func prepPartial(path string) int64 {
+	if st, err := os.Stat(path); err != nil || st.Size() == 0 {
+		os.Remove(path)
+		os.Remove(telemetry.CheckpointPath(path))
+		return 0
+	}
+	w, err := telemetry.Resume(path)
+	if err != nil {
+		os.Remove(path)
+		os.Remove(telemetry.CheckpointPath(path))
+		return 0
+	}
+	size := w.Offset()
+	w.Abort()
+	os.Remove(telemetry.CheckpointPath(path))
+	return size
+}
+
+// fetchShard appends the shard store's bytes [local, committed) from the
+// hosting backend to the local partial. The stream is append-only and
+// deterministic — every backend executing the shard writes the identical
+// byte sequence — so appending from whichever backend currently hosts it
+// can never diverge, even across a backend swap mid-shard. A failed copy
+// truncates back to local so the partial never carries a torn tail into
+// the next attempt.
+func (m *manager) fetchShard(base, remoteID, path string, local int64) (int64, error) {
+	resp, err := m.client.Get(fmt.Sprintf("%s/api/sweeps/%s/store?from=%d", base, remoteID, local))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return 0, nil // no committed store yet (sweep still queued); poll again
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return 0, &httpStatusError{resp.StatusCode, strings.TrimSpace(string(body))}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := f.Seek(local, 0); err != nil {
+		f.Close()
+		return 0, err
+	}
+	n, err := io.Copy(f, resp.Body)
+	cerr := f.Close()
+	if err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Truncate(path, local)
+		return 0, err
+	}
+	m.metrics.shardFetchBytes.Add(float64(n))
+	return n, nil
+}
+
+// fetchSeedStore pulls the coordinator's partial copy of a shard store
+// into path, so a replacement backend resumes from the blocks already
+// replicated off the lost one instead of re-simulating from scratch.
+// Best-effort: any failure leaves no seed behind and the caller starts a
+// scratch store — slower, but bit-identical by determinism.
+func (m *manager) fetchSeedStore(url, path string) bool {
+	resp, err := m.client.Get(url)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return false
+	}
+	tmp := path + ".fetch"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return false
+	}
+	n, err := io.Copy(f, resp.Body)
+	cerr := f.Close()
+	if err != nil || cerr != nil || n == 0 {
+		os.Remove(tmp)
+		return false
+	}
+	// Drop any stale checkpoint before the rename: the sidecar describes
+	// the file being replaced, and the seed-pulled store is validated by
+	// the scan-resume path instead.
+	if err := os.Remove(telemetry.CheckpointPath(path)); err != nil && !os.IsNotExist(err) {
+		os.Remove(tmp)
+		return false
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return false
+	}
+	m.metrics.shardFetchBytes.Add(float64(n))
+	return true
+}

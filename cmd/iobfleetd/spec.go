@@ -37,6 +37,45 @@ type sweepSpec struct {
 
 	SeriesSeconds float64 `json:"series_seconds,omitempty"`
 	BlockSize     int     `json:"block_size,omitempty"`
+
+	// Shards, when positive, makes the receiving daemon a coordinator: it
+	// splits [0, Wearers) into this many contiguous ranges, dispatches
+	// each as a shard sub-sweep to a backend (-backends, or itself), and
+	// merges the returned stores into one bit-identical to a 1-process
+	// run. A coordinator spec carries none of the shard-side fields below.
+	Shards int `json:"shards,omitempty"`
+
+	// The remaining fields are the shard side of the protocol — set by a
+	// coordinator on the sub-specs it dispatches, not by clients.
+	// FirstWearer/EndWearer bound the shard's wearer range (end 0 =
+	// Wearers); Label makes re-dispatch idempotent (a resubmitted label
+	// returns the existing sweep instead of a duplicate); SeedStoreURL
+	// points at the coordinator's partial copy of the shard store, so a
+	// replacement backend resumes from the blocks already replicated
+	// instead of re-simulating the shard from scratch; Presolved ships
+	// the coordinator's merged phase-1 results (see fleet.Presolved).
+	FirstWearer  int            `json:"first_wearer,omitempty"`
+	EndWearer    int            `json:"end_wearer,omitempty"`
+	Label        string         `json:"label,omitempty"`
+	SeedStoreURL string         `json:"seed_store_url,omitempty"`
+	Presolved    *presolvedSpec `json:"presolved,omitempty"`
+}
+
+// presolvedSpec is the wire form of fleet.Presolved: the coordinator's
+// merged full-population load table plus, in feedback mode, the solved
+// equilibrium windowed to the shard's wearer range.
+type presolvedSpec struct {
+	Loads []spectrum.CellLoad `json:"loads"`
+	Eq    *eqSpec             `json:"eq,omitempty"`
+}
+
+// eqSpec is the exported spectrum.Result: the equilibrium per-cell table
+// and iteration counts of the full solve plus the per-wearer own loads of
+// the shard's range [first_wearer, end_wearer).
+type eqSpec struct {
+	Table []spectrum.CellLoad  `json:"table"`
+	Iters []spectrum.CellIters `json:"iters,omitempty"`
+	Own   []int64              `json:"own"`
 }
 
 // normalize validates the spec and resolves density into cells (the two
@@ -85,11 +124,80 @@ func (s *sweepSpec) normalize() error {
 	if s.BlockSize < 0 {
 		return fmt.Errorf("negative block size %d", s.BlockSize)
 	}
+	if s.Shards < 0 || s.Shards > s.Wearers {
+		return fmt.Errorf("shard count %d outside [0, %d]", s.Shards, s.Wearers)
+	}
+	if s.Shards > 0 && (s.FirstWearer != 0 || s.EndWearer != 0 || s.Label != "" || s.SeedStoreURL != "" || s.Presolved != nil) {
+		return fmt.Errorf("shards is a coordinator knob; first_wearer/end_wearer/label/seed_store_url/presolved describe one shard — a spec carries one side only")
+	}
+	if s.Shards > 1 && s.SeriesSeconds > 0 {
+		// The merge re-encodes records only; series frames would silently
+		// vanish from the merged store. Refuse until the merge carries them.
+		return fmt.Errorf("series_seconds is not yet supported on a sharded sweep")
+	}
+	if s.FirstWearer < 0 || s.EndWearer < 0 {
+		return fmt.Errorf("negative wearer range [%d,%d)", s.FirstWearer, s.EndWearer)
+	}
+	if s.EndWearer == s.Wearers {
+		s.EndWearer = 0 // canonical full-range spelling, like telemetry.Meta's
+	}
+	first, end := s.wearerRange()
+	if first >= end || end > s.Wearers {
+		return fmt.Errorf("wearer range [%d,%d) outside population %d", first, end, s.Wearers)
+	}
+	if s.Presolved != nil {
+		if s.Cells <= 0 {
+			return fmt.Errorf("presolved loads need a spectrum topology; pass cells or density")
+		}
+		if (s.Presolved.Eq != nil) != s.Feedback {
+			return fmt.Errorf("presolved equilibrium present=%v but feedback=%v", s.Presolved.Eq != nil, s.Feedback)
+		}
+		if _, err := s.presolved(); err != nil {
+			return err
+		}
+	}
 	gen := s.generator()
 	if err := gen.Validate(); err != nil {
 		return err
 	}
 	return nil
+}
+
+// wearerRange is the spec's wearer interval [first, end); end 0 reads as
+// the whole population, mirroring telemetry.Meta.Range.
+func (s *sweepSpec) wearerRange() (int, int) {
+	end := s.EndWearer
+	if end == 0 {
+		end = s.Wearers
+	}
+	return s.FirstWearer, end
+}
+
+// presolved reconstructs the fleet.Presolved the wire form describes (nil
+// when the spec carries none). Called from normalize so a malformed table
+// or equilibrium is a 400 at submit time, not a failed sweep later.
+func (s *sweepSpec) presolved() (*fleet.Presolved, error) {
+	if s.Presolved == nil {
+		return nil, nil
+	}
+	loads, err := spectrum.ImportTable(s.Cells, s.Presolved.Loads)
+	if err != nil {
+		return nil, fmt.Errorf("presolved loads: %w", err)
+	}
+	p := &fleet.Presolved{Loads: loads}
+	if e := s.Presolved.Eq; e != nil {
+		first, end := s.wearerRange()
+		if len(e.Own) != end-first {
+			return nil, fmt.Errorf("presolved equilibrium covers %d wearers, shard range [%d,%d) holds %d",
+				len(e.Own), first, end, end-first)
+		}
+		res, err := spectrum.NewResult(s.Cells, e.Table, e.Iters, first, e.Own)
+		if err != nil {
+			return nil, fmt.Errorf("presolved equilibrium: %w", err)
+		}
+		p.Eq = res
+	}
+	return p, nil
 }
 
 // cellsForDensity derives the cell count hitting a target wearers-per-
@@ -118,9 +226,13 @@ func (s *sweepSpec) generator() *fleet.Generator {
 
 // build assembles the runnable fleet and the telemetry metadata of a
 // normalized spec — exactly the composition cmd/iobfleet performs from
-// its flags, with the engine's Stats hook attached for live metrics.
-func (s *sweepSpec) build(stats *fleet.Stats) (*fleet.Fleet, telemetry.Meta) {
+// its flags, with the engine's Stats hook attached for live metrics. A
+// shard spec yields a range-bounded fleet (Start/End) with the shipped
+// phase-1 results attached, and a meta whose FirstWearer/EndWearer mark
+// the store as a shard store.
+func (s *sweepSpec) build(stats *fleet.Stats) (*fleet.Fleet, telemetry.Meta, error) {
 	gen := s.generator()
+	first, end := s.wearerRange()
 	f := &fleet.Fleet{
 		Wearers:  s.Wearers,
 		Seed:     s.Seed,
@@ -128,8 +240,12 @@ func (s *sweepSpec) build(stats *fleet.Stats) (*fleet.Fleet, telemetry.Meta) {
 		Loads:    gen.LoadScenario(),
 		Span:     units.Duration(s.DurSeconds),
 		Workers:  s.Workers,
+		Start:    first,
 		Series:   units.Duration(s.SeriesSeconds),
 		Stats:    stats,
+	}
+	if end != s.Wearers {
+		f.End = end
 	}
 	tag := gen.Tag()
 	if s.Cells > 0 {
@@ -139,6 +255,11 @@ func (s *sweepSpec) build(stats *fleet.Stats) (*fleet.Fleet, telemetry.Meta) {
 			f.Coupling.MaxIters = s.MaxIters
 			f.Coupling.TolPPM = s.TolPPM
 		}
+		p, err := s.presolved()
+		if err != nil {
+			return nil, telemetry.Meta{}, err
+		}
+		f.Coupling.Presolved = p
 		tag += ";" + f.Coupling.Tag()
 	}
 	meta := telemetry.Meta{
@@ -152,6 +273,9 @@ func (s *sweepSpec) build(stats *fleet.Stats) (*fleet.Fleet, telemetry.Meta) {
 		Feedback:    s.Feedback && s.Cells > 0,
 
 		SeriesCadenceSeconds: s.SeriesSeconds,
+
+		FirstWearer: s.FirstWearer,
+		EndWearer:   s.EndWearer,
 	}
-	return f, meta
+	return f, meta, nil
 }

@@ -133,9 +133,15 @@ func info(r *telemetry.Reader) error {
 	if err != nil {
 		return err
 	}
+	first, end := m.Range()
 	fmt.Printf("telemetry store: %d/%d wearers in %d blocks (block size %d)\n",
-		n, m.Wearers, r.Blocks(), m.BlockSize)
+		n, end-first, r.Blocks(), m.BlockSize)
 	fmt.Printf("  sweep:       seed %d, %v per wearer\n", m.FleetSeed, units.Duration(m.SpanSeconds))
+	if first != 0 || end != m.Wearers {
+		// A shard store: a contiguous slice of a larger sweep, carrying its
+		// absolute wearer range so seeds and cell placement stay global.
+		fmt.Printf("  shard:       wearers [%d, %d) of %d\n", first, end, m.Wearers)
+	}
 	if m.Scenario != "" {
 		fmt.Printf("  scenario:    %s\n", m.Scenario)
 	}
@@ -150,7 +156,7 @@ func info(r *telemetry.Reader) error {
 		fmt.Printf("  series:      %gs cadence, %d samples (format v%d)\n",
 			m.SeriesCadenceSeconds, r.SeriesPoints(), m.Version)
 	}
-	fmt.Printf("  checkpoint:  valid=%t  complete=%t\n", r.Checkpointed(), n == m.Wearers)
+	fmt.Printf("  checkpoint:  valid=%t  complete=%t\n", r.Checkpointed(), n == end-first)
 	if n == 0 {
 		// No committed records: there is nothing to compress, so the usual
 		// ratio line would misreport "0.00x compression" for a perfectly
@@ -173,8 +179,9 @@ func verify(r *telemetry.Reader) error {
 		return fmt.Errorf("block %d: %w", r.Blocks(), err)
 	}
 	fmt.Printf("ok: %d blocks, %d records, every CRC verified\n", r.Blocks(), n)
-	if n < r.Meta().Wearers {
-		fmt.Printf("note: sweep incomplete (%d/%d wearers) — finish it with iobfleet -resume\n", n, r.Meta().Wearers)
+	m := r.Meta()
+	if first, end := m.Range(); n < end-first {
+		fmt.Printf("note: sweep incomplete (%d/%d wearers) — finish it with iobfleet -resume\n", n, end-first)
 	}
 	return nil
 }
@@ -187,8 +194,9 @@ func report(r *telemetry.Reader) error {
 	}
 	rep := agg.Report()
 	fmt.Println(rep)
-	if n < r.Meta().Wearers {
-		fmt.Printf("  (partial: %d/%d wearers committed)\n", n, r.Meta().Wearers)
+	m := r.Meta()
+	if first, end := m.Range(); n < end-first {
+		fmt.Printf("  (partial: %d/%d wearers committed)\n", n, end-first)
 	}
 	fmt.Printf("  fingerprint %s (seed %d)\n", rep.Fingerprint()[:16], r.Meta().FleetSeed)
 	return nil

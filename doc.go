@@ -41,7 +41,19 @@
 //     kernel arena and pooled report buffers, sinks receive records on
 //     a borrow-until-return contract, and phase 1 runs the Generator's
 //     load pass instead of regenerating scenarios (profile a sweep
-//     with iobfleet -cpuprofile/-memprofile);
+//     with iobfleet -cpuprofile/-memprofile). The engine also runs
+//     range-bounded: Start/End restrict simulation to a wearer window
+//     while phase 1 still reduces over the full population, and a
+//     GatherLoads/Presolved pair splits the two phases across
+//     processes — cmd/iobfleetd, the long-running fleet daemon,
+//     builds on exactly that to shard one sweep across remote
+//     backends ("shards" in the sweep spec, -backends on the
+//     coordinator): shards gather loads, the coordinator merges and
+//     solves the equilibrium once, shards simulate their windows and
+//     replicate committed telemetry blocks back, and because seeds
+//     derive from absolute wearer indices the merged store is
+//     byte-identical to a single-process run, even after a backend is
+//     SIGKILLed and resumed mid-sweep;
 //   - internal/spectrum — cross-wearer co-channel interference: wearers
 //     hash into spatial cells, each cell sums its members' offered RF
 //     airtime in exact integer PPM, and a CSMA/ALOHA collision curve

@@ -55,6 +55,30 @@ type Coupling struct {
 	// TolPPM is the fixed-point convergence tolerance in integer PPM
 	// (0 = spectrum.DefaultTolPPM). Only meaningful with Feedback.
 	TolPPM int64
+	// Presolved, when non-nil, supplies phase 1's results instead of
+	// gathering and solving them in-process — the shard half of the
+	// distributed two-round protocol: each shard gathers only its own
+	// wearer range (GatherLoads), the coordinator merges the partial
+	// tables (and, in feedback mode, runs the one deterministic solve
+	// over the concatenated members), and the shards simulate phase 2
+	// against the shipped full-population results. Because the shipped
+	// quantities are exactly what the in-process phase 1 would have
+	// computed — integer tables merge commutatively and the solve is a
+	// pure function — a presolved shard run is bit-identical to its slice
+	// of a single-process sweep.
+	Presolved *Presolved
+}
+
+// Presolved is a coupled sweep's phase-1 results computed elsewhere (see
+// Coupling.Presolved).
+type Presolved struct {
+	// Loads is the FULL population's first-order per-cell offered-load
+	// table; its cell count must match Coupling.Cells.
+	Loads *spectrum.LoadTable
+	// Eq is the solved equilibrium, windowed to cover at least the
+	// fleet's own wearer range (spectrum.NewResult). Required in feedback
+	// mode, forbidden otherwise.
+	Eq *spectrum.Result
 }
 
 // model returns the effective collision model.
@@ -72,6 +96,17 @@ func (c *Coupling) validate() error {
 	}
 	if err := c.model().Validate(); err != nil {
 		return err
+	}
+	if p := c.Presolved; p != nil {
+		if p.Loads == nil {
+			return fmt.Errorf("fleet: presolved coupling without a load table")
+		}
+		if p.Loads.Cells() != c.Cells {
+			return fmt.Errorf("fleet: presolved table covers %d cells, coupling has %d", p.Loads.Cells(), c.Cells)
+		}
+		if (p.Eq != nil) != c.Feedback {
+			return fmt.Errorf("fleet: presolved equilibrium present=%v but feedback=%v", p.Eq != nil, c.Feedback)
+		}
 	}
 	eq := c.equilibrium()
 	return eq.Validate()
@@ -217,15 +252,85 @@ func (f *Fleet) wearerLoads(w int, sc *workerScratch, dst []spectrum.NodeLoad) (
 // members keep — a grown arena strands its old backing array, but the
 // values stored there are final, so stored members stay valid.
 func (f *Fleet) offeredLoads(workers int) (*phase1, error) {
+	if p := f.Coupling.Presolved; p != nil {
+		// The distributed two-round protocol already ran phase 1; a shard
+		// simulates phase 2 straight against the shipped results.
+		return &phase1{loads: p.Loads, model: f.Coupling.model(), eq: p.Eq}, nil
+	}
+	cells := f.Coupling.Cells
+	total, members, err := f.gatherLoads(0, f.Wearers, workers)
+	if err != nil {
+		return nil, err
+	}
+	p1 := &phase1{loads: total, model: f.Coupling.model()}
+	if members != nil {
+		solveStart := time.Now()
+		eq := f.Coupling.equilibrium()
+		res, err := eq.Solve(cells, members)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: equilibrium phase: %w", err)
+		}
+		p1.eq = res
+		if f.Stats != nil {
+			f.Stats.Phase1SolveNS.Add(time.Since(solveStart).Nanoseconds())
+			var iters int64
+			for c := 0; c < cells; c++ {
+				iters += int64(res.Iters(c))
+			}
+			f.Stats.EquilibriumIters.Add(iters)
+			f.Stats.EquilibriumCells.Add(int64(cells))
+		}
+	}
+	return p1, nil
+}
+
+// GatherLoads runs only the phase-1 gather, and only over the fleet's own
+// wearer range [Start, End): the shard half of the distributed two-round
+// protocol. It returns the range's partial per-cell load table and, in
+// feedback mode, its members indexed w − Start (nil otherwise). Because
+// the per-wearer loads are pure functions of absolute wearer indices and
+// the table sums are commutative integers, merging every shard's partial
+// table — and concatenating the member windows in range order —
+// reproduces the full-population gather bit-exactly.
+func (f *Fleet) GatherLoads() (*spectrum.LoadTable, []spectrum.Member, error) {
+	if f.Coupling == nil {
+		return nil, nil, fmt.Errorf("fleet: GatherLoads on an uncoupled fleet")
+	}
+	if err := f.Coupling.validate(); err != nil {
+		return nil, nil, err
+	}
+	if f.Wearers <= 0 {
+		return nil, nil, fmt.Errorf("fleet: non-positive population %d", f.Wearers)
+	}
+	if f.Scenario == nil && f.Loads == nil {
+		return nil, nil, fmt.Errorf("fleet: nil scenario")
+	}
+	if f.End < 0 || f.End > f.Wearers {
+		return nil, nil, fmt.Errorf("fleet: end index %d outside population [0, %d]", f.End, f.Wearers)
+	}
+	end := f.end()
+	if f.Start < 0 || f.Start > end {
+		return nil, nil, fmt.Errorf("fleet: start index %d outside range [0, %d]", f.Start, end)
+	}
+	return f.gatherLoads(f.Start, end, f.effectiveWorkers())
+}
+
+// gatherLoads is the parallel offered-load gather over wearers [lo, hi):
+// a partial per-cell table plus, in feedback mode, the range's members
+// indexed w − lo. Workers accumulate into private tables over contiguous
+// chunks and the integer merges commute, so the result is bit-identical
+// for any worker count; a failing scenario surfaces as the lowest failing
+// wearer index, matching the phase-2 error contract.
+func (f *Fleet) gatherLoads(lo, hi, workers int) (*spectrum.LoadTable, []spectrum.Member, error) {
 	gatherStart := time.Now()
 	cells := f.Coupling.Cells
 	total, err := spectrum.NewLoadTable(cells)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var members []spectrum.Member
 	if f.Coupling.Feedback {
-		members = make([]spectrum.Member, f.Wearers)
+		members = make([]spectrum.Member, hi-lo)
 	}
 	const chunk = 256
 	var (
@@ -235,8 +340,9 @@ func (f *Fleet) offeredLoads(workers int) (*phase1, error) {
 		failIdx = -1
 		failErr error
 	)
-	if workers > f.Wearers {
-		workers = f.Wearers
+	next.Store(int64(lo))
+	if workers > hi-lo {
+		workers = hi - lo
 	}
 	if workers < 1 {
 		workers = 1
@@ -250,15 +356,15 @@ func (f *Fleet) offeredLoads(workers int) (*phase1, error) {
 			local, _ := spectrum.NewLoadTable(cells)
 			localFail, localErr := -1, error(nil)
 			for {
-				lo := int(next.Add(chunk) - chunk)
-				if lo >= f.Wearers {
+				c0 := int(next.Add(chunk) - chunk)
+				if c0 >= hi {
 					break
 				}
-				hi := lo + chunk
-				if hi > f.Wearers {
-					hi = f.Wearers
+				c1 := c0 + chunk
+				if c1 > hi {
+					c1 = hi
 				}
-				for w := lo; w < hi; w++ {
+				for w := c0; w < c1; w++ {
 					cell := f.cellOf(w)
 					var own int64
 					if members != nil {
@@ -275,7 +381,7 @@ func (f *Fleet) offeredLoads(workers int) (*phase1, error) {
 						for _, nl := range m.Nodes {
 							own += nl.BasePPM
 						}
-						members[w] = m
+						members[w-lo] = m
 					} else {
 						var err error
 						if sc.loads, err = f.wearerLoads(w, sc, sc.loads[:0]); err != nil {
@@ -307,31 +413,12 @@ func (f *Fleet) offeredLoads(workers int) (*phase1, error) {
 	}
 	wg.Wait()
 	if failIdx != -1 {
-		return nil, fmt.Errorf("fleet: offered-load phase: wearer %d: %w", failIdx, failErr)
+		return nil, nil, fmt.Errorf("fleet: offered-load phase: wearer %d: %w", failIdx, failErr)
 	}
 	if f.Stats != nil {
 		f.Stats.Phase1GatherNS.Add(time.Since(gatherStart).Nanoseconds())
 	}
-	p1 := &phase1{loads: total, model: f.Coupling.model()}
-	if members != nil {
-		solveStart := time.Now()
-		eq := f.Coupling.equilibrium()
-		res, err := eq.Solve(cells, members)
-		if err != nil {
-			return nil, fmt.Errorf("fleet: equilibrium phase: %w", err)
-		}
-		p1.eq = res
-		if f.Stats != nil {
-			f.Stats.Phase1SolveNS.Add(time.Since(solveStart).Nanoseconds())
-			var iters int64
-			for c := 0; c < cells; c++ {
-				iters += int64(res.Iters(c))
-			}
-			f.Stats.EquilibriumIters.Add(iters)
-			f.Stats.EquilibriumCells.Add(int64(cells))
-		}
-	}
-	return p1, nil
+	return total, members, nil
 }
 
 // applyInterference stamps the cell's collision probability onto the

@@ -130,12 +130,19 @@ type Fleet struct {
 	Span units.Duration
 	// Workers bounds parallelism; <= 0 means runtime.NumCPU().
 	Workers int
-	// Start is the first wearer to simulate (wearers [Start, Wearers)
-	// run). Non-zero only when resuming an interrupted sweep whose
-	// earlier records replay from a telemetry store; seeds still derive
-	// from absolute wearer indices, so a resumed sweep reproduces an
-	// uninterrupted one exactly.
+	// Start is the first wearer to simulate (wearers [Start, End) run,
+	// where End 0 means Wearers). Non-zero when resuming an interrupted
+	// sweep whose earlier records replay from a telemetry store, or when
+	// running a shard of a distributed sweep; seeds still derive from
+	// absolute wearer indices, so a resumed or sharded sweep reproduces
+	// the corresponding slice of an uninterrupted full run exactly.
 	Start int
+	// End is the exclusive upper bound of the wearer range; 0 means
+	// Wearers. A shard of a distributed sweep sets Start/End to its
+	// contiguous sub-range — everything else (seeding, emit order, the
+	// coupled engine) is unchanged, which is what keeps shard boundaries
+	// invisible in the merged output.
+	End int
 	// Coupling, when non-nil, runs the two-phase spectrum-coupled
 	// engine: wearers share RF spectrum inside spatial cells and each RF
 	// node's loss is inflated by its cell's offered load (see Coupling).
@@ -225,8 +232,8 @@ func (f *Fleet) Run() (*Report, Perf, error) {
 // bannet.Sim.Schedule). Resume (Start > 0) is not supported here —
 // partial sweeps only make sense streamed.
 func (f *Fleet) RunReports() ([]*bannet.Report, *Report, Perf, error) {
-	if f.Start != 0 {
-		return nil, nil, Perf{}, fmt.Errorf("fleet: RunReports does not support Start=%d; stream a resumed sweep instead", f.Start)
+	if f.Start != 0 || f.End != 0 {
+		return nil, nil, Perf{}, fmt.Errorf("fleet: RunReports does not support a sub-range [%d,%d); stream it instead", f.Start, f.End)
 	}
 	if f.Wearers <= 0 {
 		return nil, nil, Perf{}, fmt.Errorf("fleet: non-positive population %d", f.Wearers)
@@ -247,7 +254,7 @@ func (f *Fleet) RunReports() ([]*bannet.Report, *Report, Perf, error) {
 	return reports, Aggregate(f.Span, reports), perf, nil
 }
 
-// Stream executes wearers [Start, Wearers) and feeds each one's
+// Stream executes wearers [Start, End) and feeds each one's
 // telemetry record to sink in strict wearer-index order. Tee the
 // telemetry store's Writer with a StreamAggregator to persist and
 // aggregate in one pass. A sink error aborts the sweep (records already
@@ -267,6 +274,15 @@ func (f *Fleet) Stream(sink Sink) (Perf, error) {
 		rec.Series = out.series
 		return sink.Consume(rec)
 	})
+}
+
+// end is the exclusive upper bound of the fleet's wearer range: End,
+// with 0 meaning the whole population.
+func (f *Fleet) end() int {
+	if f.End > 0 {
+		return f.End
+	}
+	return f.Wearers
 }
 
 // wearerOut is one completed wearer simulation plus its spectrum
@@ -344,15 +360,19 @@ func (f *Fleet) stream(emit func(w int, out *wearerOut) error) (Perf, error) {
 	if f.Span <= 0 {
 		return Perf{}, fmt.Errorf("fleet: non-positive span")
 	}
-	if f.Start < 0 || f.Start > f.Wearers {
-		return Perf{}, fmt.Errorf("fleet: start index %d outside population [0, %d]", f.Start, f.Wearers)
+	if f.End < 0 || f.End > f.Wearers {
+		return Perf{}, fmt.Errorf("fleet: end index %d outside population [0, %d]", f.End, f.Wearers)
+	}
+	end := f.end()
+	if f.Start < 0 || f.Start > end {
+		return Perf{}, fmt.Errorf("fleet: start index %d outside range [0, %d]", f.Start, end)
 	}
 	if f.Coupling != nil {
 		if err := f.Coupling.validate(); err != nil {
 			return Perf{}, err
 		}
 	}
-	count := f.Wearers - f.Start
+	count := end - f.Start
 	if count == 0 {
 		// Nothing to simulate (a resume of a complete sweep): skip the
 		// load phase too — interference only matters to running kernels.
@@ -422,7 +442,7 @@ func (f *Fleet) stream(emit func(w int, out *wearerOut) error) (Perf, error) {
 					return
 				}
 				i := int(next.Add(1) - 1)
-				if i >= f.Wearers {
+				if i >= end {
 					bufs <- out // hand the buffer back: nothing will be emitted for it
 					return
 				}

@@ -1,0 +1,237 @@
+package fleet
+
+// Tests for the shard half of the distributed two-round protocol:
+// range-bounded gathers must merge bit-exactly into the full-population
+// phase 1, and shards simulating phase 2 against shipped (presolved)
+// results must concatenate into the exact single-process sweep.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"wiban/internal/spectrum"
+	"wiban/internal/telemetry"
+	"wiban/internal/units"
+)
+
+// shardTiling is the 3-way uneven split the shard tests run against —
+// deliberately not aligned to any block or chunk size.
+var shardTiling = [][2]int{{0, 41}, {41, 83}, {83, 120}}
+
+// rangeFleet bounds a fleet to one shard's wearer range.
+func rangeFleet(f *Fleet, lo, hi int) *Fleet {
+	g := *f
+	g.Start = lo
+	if hi != g.Wearers {
+		g.End = hi
+	} else {
+		g.End = 0
+	}
+	return &g
+}
+
+// TestGatherLoadsRangeMerge: merging every shard's partial table — and
+// concatenating the member windows in range order — reproduces the
+// full-population gather bit-exactly, including the equilibrium solved
+// from the concatenation.
+func TestGatherLoadsRangeMerge(t *testing.T) {
+	const wearers, cells = 120, 8
+	full := feedbackFleet(wearers, 4, 99, cells)
+	fullLoads, fullMembers, err := full.GatherLoads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fullMembers) != wearers {
+		t.Fatalf("full gather returned %d members, want %d", len(fullMembers), wearers)
+	}
+
+	merged, err := spectrum.NewLoadTable(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := make([]spectrum.Member, wearers)
+	for _, rng := range shardTiling {
+		part, partMembers, err := rangeFleet(feedbackFleet(wearers, 4, 99, cells), rng[0], rng[1]).GatherLoads()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(partMembers) != rng[1]-rng[0] {
+			t.Fatalf("range [%d,%d) returned %d members", rng[0], rng[1], len(partMembers))
+		}
+		if err := merged.Merge(part); err != nil {
+			t.Fatal(err)
+		}
+		copy(members[rng[0]:rng[1]], partMembers)
+	}
+
+	if !reflect.DeepEqual(merged.Export(), fullLoads.Export()) {
+		t.Error("merged shard tables differ from the full-population gather")
+	}
+	if !reflect.DeepEqual(members, fullMembers) {
+		t.Error("concatenated shard members differ from the full-population gather")
+	}
+
+	// The one deterministic solve over either member set must agree.
+	eq := spectrum.Equilibrium{}
+	fullRes, err := eq.Solve(cells, fullMembers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergedRes, err := eq.Solve(cells, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mergedRes.Table().Export(), fullRes.Table().Export()) {
+		t.Error("equilibrium tables diverge between merged and full member sets")
+	}
+	if !reflect.DeepEqual(mergedRes.ExportOwn(0, wearers), fullRes.ExportOwn(0, wearers)) {
+		t.Error("equilibrium own loads diverge between merged and full member sets")
+	}
+}
+
+// TestPresolvedShardRunBitIdentical is the protocol's phase-2 contract:
+// shards simulating their ranges against the shipped phase-1 results —
+// round-tripped through the wire form, exactly as a coordinator ships
+// them — concatenate into the fingerprint of an uninterrupted
+// single-process run. Both coupling modes, because feedback adds the
+// windowed equilibrium to the shipment.
+func TestPresolvedShardRunBitIdentical(t *testing.T) {
+	const wearers, cells = 120, 8
+	for _, feedback := range []bool{false, true} {
+		name := "first-order"
+		if feedback {
+			name = "feedback"
+		}
+		t.Run(name, func(t *testing.T) {
+			build := func() *Fleet {
+				if feedback {
+					return feedbackFleet(wearers, 4, 99, cells)
+				}
+				return coupledFleet(wearers, 4, 99, cells)
+			}
+			want, _, err := build().Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			loads, members, err := build().GatherLoads()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var res *spectrum.Result
+			if feedback {
+				eq := spectrum.Equilibrium{}
+				if res, err = eq.Solve(cells, members); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			agg := NewStreamAggregator(30 * units.Second)
+			for _, rng := range shardTiling {
+				// Round-trip the shipment through its exported wire form: the
+				// shard side reconstructs from []CellLoad and a windowed own
+				// slice, never from shared pointers.
+				shipped, err := spectrum.ImportTable(cells, loads.Export())
+				if err != nil {
+					t.Fatal(err)
+				}
+				pre := &Presolved{Loads: shipped}
+				if feedback {
+					win, err := spectrum.NewResult(cells, res.Table().Export(), res.ExportIters(),
+						rng[0], res.ExportOwn(rng[0], rng[1]))
+					if err != nil {
+						t.Fatal(err)
+					}
+					pre.Eq = win
+				}
+				shard := rangeFleet(build(), rng[0], rng[1])
+				shard.Coupling.Presolved = pre
+				if _, err := shard.Stream(agg); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := agg.Report(); got.Fingerprint() != want.Fingerprint() {
+				t.Errorf("presolved shard concatenation fingerprint %q != single-process %q",
+					got.Fingerprint(), want.Fingerprint())
+			}
+		})
+	}
+}
+
+// TestStreamEndBounded: End stops the stream exactly at the bound, so a
+// shard emits its range and nothing more; End validation mirrors Start.
+func TestStreamEndBounded(t *testing.T) {
+	var got []int
+	sink := SinkFunc(func(rec telemetry.Record) error {
+		got = append(got, rec.Wearer)
+		return nil
+	})
+	f := testFleet(80, 4, 21)
+	f.Start, f.End = 33, 61
+	if _, err := f.Stream(sink); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 61-33 {
+		t.Fatalf("range stream emitted %d records, want %d", len(got), 61-33)
+	}
+	for i, w := range got {
+		if w != 33+i {
+			t.Fatalf("record %d has wearer %d, want %d", i, w, 33+i)
+		}
+	}
+
+	bad := testFleet(80, 4, 21)
+	bad.End = 81
+	if _, _, err := bad.Run(); err == nil {
+		t.Error("End beyond the population accepted")
+	}
+	inverted := testFleet(80, 4, 21)
+	inverted.Start, inverted.End = 50, 40
+	if _, _, err := inverted.Run(); err == nil {
+		t.Error("Start past End accepted")
+	}
+}
+
+// TestGatherLoadsUncoupled: the shard gather is a coupled-protocol
+// operation and refuses a fleet with no spectrum topology.
+func TestGatherLoadsUncoupled(t *testing.T) {
+	f := testFleet(40, 2, 7)
+	if _, _, err := f.GatherLoads(); err == nil || !strings.Contains(err.Error(), "uncoupled") {
+		t.Fatalf("GatherLoads on an uncoupled fleet: %v, want uncoupled error", err)
+	}
+}
+
+// TestGatherLoadsRejects pins the gather's validation surface — the same
+// envelope Run enforces, checked before any work is dispatched.
+func TestGatherLoadsRejects(t *testing.T) {
+	mustFail := func(name string, mutate func(*Fleet)) {
+		t.Helper()
+		f := coupledFleet(40, 2, 7, 4)
+		mutate(f)
+		if _, _, err := f.GatherLoads(); err == nil {
+			t.Errorf("%s: GatherLoads succeeded, want error", name)
+		}
+	}
+	mustFail("bad coupling", func(f *Fleet) { f.Coupling.Cells = -1 })
+	mustFail("non-positive population", func(f *Fleet) { f.Wearers = 0 })
+	mustFail("nil scenario", func(f *Fleet) { f.Scenario, f.Loads = nil, nil })
+	mustFail("end beyond population", func(f *Fleet) { f.End = 41 })
+	mustFail("start past end", func(f *Fleet) { f.Start, f.End = 30, 20 })
+}
+
+// TestStreamAggregatorWearers: the fold count is what a resumed sweep
+// restarts from, so it must track exactly the records consumed.
+func TestStreamAggregatorWearers(t *testing.T) {
+	agg := NewStreamAggregator(30 * units.Second)
+	if agg.Wearers() != 0 {
+		t.Fatalf("fresh aggregator reports %d wearers", agg.Wearers())
+	}
+	f := testFleet(24, 2, 7)
+	if _, err := f.Stream(agg); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Wearers() != 24 {
+		t.Errorf("aggregator reports %d wearers, want 24", agg.Wearers())
+	}
+}

@@ -245,9 +245,12 @@ func (a *StreamAggregator) Report() *Report {
 }
 
 // Replay feeds every committed record of a store into sink, in order, and
-// returns how many it fed — the wearer index a resumed sweep starts at.
-// Memory stays bounded by one telemetry block.
+// returns how many it fed — added to the store's first wearer, the index
+// a resumed sweep starts at (a shard store's records begin at
+// Meta.FirstWearer, not 0). Memory stays bounded by one telemetry block.
 func Replay(r *telemetry.Reader, sink Sink) (int, error) {
+	meta := r.Meta()
+	first, _ := meta.Range()
 	n := 0
 	for {
 		rec, err := r.Next()
@@ -257,8 +260,8 @@ func Replay(r *telemetry.Reader, sink Sink) (int, error) {
 		if err != nil {
 			return n, fmt.Errorf("fleet: replay: %w", err)
 		}
-		if rec.Wearer != n {
-			return n, fmt.Errorf("fleet: replay: wearer %d at position %d", rec.Wearer, n)
+		if rec.Wearer != first+n {
+			return n, fmt.Errorf("fleet: replay: wearer %d at position %d", rec.Wearer, first+n)
 		}
 		if err := sink.Consume(rec); err != nil {
 			return n, fmt.Errorf("fleet: replay: wearer %d: %w", n, err)

@@ -1,0 +1,150 @@
+package spectrum
+
+// Tests for the shard protocol's wire forms: Export/ImportTable and the
+// Result export/NewResult round-trip must be exact — every quantity is
+// an integer, so a table or solution shipped between processes loses
+// nothing.
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestLoadTableExportRoundTrip: ImportTable(t.Cells(), t.Export())
+// reproduces the table exactly, and importing a partition's partial
+// exports merges to the same totals as the one-shot reduction.
+func TestLoadTableExportRoundTrip(t *testing.T) {
+	const cells = 8
+	full, err := NewLoadTable(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partA, _ := NewLoadTable(cells)
+	partB, _ := NewLoadTable(cells)
+	for w := 0; w < 100; w++ {
+		cell := (w * 7) % cells
+		ppm := int64(1000 + 13*w)
+		if err := full.Add(cell, ppm); err != nil {
+			t.Fatal(err)
+		}
+		half := partA
+		if w >= 50 {
+			half = partB
+		}
+		if err := half.Add(cell, ppm); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	back, err := ImportTable(cells, full.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Export(), full.Export()) {
+		t.Error("Export/ImportTable round trip changed the table")
+	}
+	for c := 0; c < cells; c++ {
+		if back.TotalPPM(c) != full.TotalPPM(c) {
+			t.Errorf("cell %d: round-tripped total %d, want %d", c, back.TotalPPM(c), full.TotalPPM(c))
+		}
+	}
+
+	merged, err := ImportTable(cells, partA.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromB, err := ImportTable(cells, partB.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Merge(fromB); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(merged.Export(), full.Export()) {
+		t.Error("partition exports merged to a different table than the one-shot reduction")
+	}
+}
+
+// TestImportTableRejects: out-of-range cells fail rather than silently
+// truncating a shipped table.
+func TestImportTableRejects(t *testing.T) {
+	if _, err := ImportTable(4, []CellLoad{{Cell: 4, PPM: 1}}); err == nil {
+		t.Error("cell beyond the table accepted")
+	}
+	if _, err := ImportTable(4, []CellLoad{{Cell: -1, PPM: 1}}); err == nil {
+		t.Error("negative cell accepted")
+	}
+	if _, err := ImportTable(0, nil); err == nil {
+		t.Error("zero-cell table accepted")
+	}
+}
+
+// TestResultExportRoundTrip: a windowed NewResult rebuilt from a full
+// solve's exports observes bit-identical OwnPPM / ForeignPPM / Iters
+// for every wearer in its window — the guarantee that lets a shard
+// backend replay phase 2 against the coordinator's solution.
+func TestResultExportRoundTrip(t *testing.T) {
+	const cells = 5
+	members := make([]Member, 60)
+	for w := range members {
+		members[w] = Member{
+			Cell: (w * 3) % cells,
+			Nodes: []NodeLoad{
+				{BasePPM: int64(20_000 + 500*w), Retries: 2},
+				{BasePPM: int64(5_000 * (w % 3)), Retries: 1},
+			},
+		}
+	}
+	eq := Equilibrium{}
+	full, err := eq.Solve(cells, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const lo, hi = 23, 47
+	win, err := NewResult(cells, full.Table().Export(), full.ExportIters(), lo, full.ExportOwn(lo, hi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := lo; w < hi; w++ {
+		if win.OwnPPM(w) != full.OwnPPM(w) {
+			t.Errorf("wearer %d: windowed OwnPPM %d, want %d", w, win.OwnPPM(w), full.OwnPPM(w))
+		}
+		cell := members[w].Cell
+		if win.ForeignPPM(w, cell) != full.ForeignPPM(w, cell) {
+			t.Errorf("wearer %d: windowed ForeignPPM %d, want %d", w, win.ForeignPPM(w, cell), full.ForeignPPM(w, cell))
+		}
+	}
+	for c := 0; c < cells; c++ {
+		if win.Iters(c) != full.Iters(c) {
+			t.Errorf("cell %d: windowed Iters %d, want %d", c, win.Iters(c), full.Iters(c))
+		}
+	}
+
+	if _, err := NewResult(cells, full.Table().Export(), full.ExportIters(), -1, nil); err == nil {
+		t.Error("negative result base accepted")
+	}
+	if _, err := NewResult(cells, full.Table().Export(), []CellIters{{Cell: cells, Iters: 1}}, 0, nil); err == nil {
+		t.Error("iteration count beyond the table accepted")
+	}
+}
+
+// TestModelTagStable: the tag is persisted in telemetry metadata and
+// compared on resume, so its rendering must never drift.
+func TestModelTagStable(t *testing.T) {
+	m := Model{Beta: 2.5, MaxCollision: 0.95}
+	if got, want := m.Tag(), "csma:beta=2.5,cap=0.95"; got != want {
+		t.Errorf("Tag() = %q, want %q", got, want)
+	}
+}
+
+// TestLoadTableCells: the accessor shards use to size their shipments.
+func TestLoadTableCells(t *testing.T) {
+	tbl, err := NewLoadTable(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Cells() != 7 {
+		t.Errorf("Cells() = %d, want 7", tbl.Cells())
+	}
+}

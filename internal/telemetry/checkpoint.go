@@ -90,17 +90,20 @@ func readCheckpoint(path string, meta Meta) (checkpoint, error) {
 	if ck.CRC != ck.sum() {
 		return ck, fmt.Errorf("%w: checkpoint CRC mismatch", ErrCorrupt)
 	}
-	if ck.NextWearer < 0 || ck.NextWearer > meta.Wearers || ck.Blocks < 0 || ck.Offset < 0 {
+	first, end := meta.Range()
+	if ck.NextWearer < first || ck.NextWearer > end || ck.Blocks < 0 || ck.Offset < 0 {
 		return ck, fmt.Errorf("%w: implausible checkpoint %+v", ErrCorrupt, ck)
 	}
 	// Committed blocks hold between 1 and BlockSize records each, so the
-	// record and block counts bound each other; a sidecar outside that
-	// envelope is corrupt regardless of its seed check.
+	// record count (relative to the store's first wearer) and the block
+	// count bound each other; a sidecar outside that envelope is corrupt
+	// regardless of its seed check.
 	bs := meta.BlockSize
 	if bs <= 0 {
 		bs = DefaultBlockSize
 	}
-	if ck.NextWearer < ck.Blocks || int64(ck.NextWearer) > int64(ck.Blocks)*int64(bs) {
+	committed := ck.NextWearer - first
+	if committed < ck.Blocks || int64(committed) > int64(ck.Blocks)*int64(bs) {
 		return ck, fmt.Errorf("%w: checkpoint blocks/records mismatch %+v", ErrCorrupt, ck)
 	}
 	if want := desim.DeriveSeed(meta.FleetSeed, 2*uint64(ck.NextWearer)); ck.SeedCheck != want {

@@ -1,0 +1,310 @@
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeShard writes the records of [first, end) into a shard store
+// carrying that range in its meta (end == wearers spelled canonically
+// as 0, the way a coordinator's sub-spec does).
+func writeShard(t *testing.T, dir string, n, blockSize, first, end int) string {
+	t.Helper()
+	meta := testMeta(n, blockSize)
+	meta.FirstWearer = first
+	if end != n {
+		meta.EndWearer = end
+	}
+	path := filepath.Join(dir, "shard.wtl")
+	w, err := Create(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := first; i < end; i++ {
+		if err := w.Consume(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestMergeShardsByteIdentical is the merge's core contract: shards
+// tiling [0, n) re-encode into a store byte-identical to the one a
+// single writer would have produced — header, blocks, checkpoints and
+// trailing index — with the sink seeing every record in wearer order.
+func TestMergeShardsByteIdentical(t *testing.T) {
+	const n, blockSize = 37, 8
+	full := writeStore(t, n, blockSize)
+
+	// Uneven tiling, with ranges that straddle block boundaries.
+	ranges := [][2]int{{0, 13}, {13, 25}, {25, n}}
+	paths := make([]string, len(ranges))
+	for i, rng := range ranges {
+		paths[i] = writeShard(t, t.TempDir(), n, blockSize, rng[0], rng[1])
+	}
+
+	dst := filepath.Join(t.TempDir(), "merged.wtl")
+	next := 0
+	blocks, size, err := MergeShards(dst, paths, func(rec Record) error {
+		if rec.Wearer != next {
+			t.Fatalf("sink saw wearer %d, want %d", rec.Wearer, next)
+		}
+		next++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != n {
+		t.Fatalf("sink saw %d records, want %d", next, n)
+	}
+
+	want, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("merged store differs from single-writer store: %d vs %d bytes", len(got), len(want))
+	}
+	if st, _ := os.Stat(dst); st.Size() != size {
+		t.Errorf("MergeShards reported size %d, file is %d", size, st.Size())
+	}
+	r, err := Open(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if recs := drain(t, r); len(recs) != n {
+		t.Fatalf("merged store holds %d records, want %d", len(recs), n)
+	}
+	if r.Blocks() != blocks {
+		t.Errorf("MergeShards reported %d blocks, reader sees %d", blocks, r.Blocks())
+	}
+}
+
+// TestMergeShardsRejects pins the merge's refusal set: gaps, overlaps,
+// truncated shards and mismatched sweep identities must all fail rather
+// than silently produce a plausible store.
+func TestMergeShardsRejects(t *testing.T) {
+	const n, blockSize = 24, 8
+	s0 := writeShard(t, t.TempDir(), n, blockSize, 0, 12)
+	s1 := writeShard(t, t.TempDir(), n, blockSize, 12, n)
+
+	t.Run("gap", func(t *testing.T) {
+		late := writeShard(t, t.TempDir(), n, blockSize, 13, n)
+		mustFailMerge(t, []string{s0, late}, "expected to start at")
+	})
+	t.Run("overlap", func(t *testing.T) {
+		early := writeShard(t, t.TempDir(), n, blockSize, 11, n)
+		mustFailMerge(t, []string{s0, early}, "expected to start at")
+	})
+	t.Run("missing-head", func(t *testing.T) {
+		mustFailMerge(t, []string{s1}, "not 0")
+	})
+	t.Run("missing-tail", func(t *testing.T) {
+		mustFailMerge(t, []string{s0}, "population")
+	})
+	t.Run("incomplete-shard", func(t *testing.T) {
+		// A shard whose meta claims [12, 24) but only holds [12, 18):
+		// exactly what a torn replica looks like after scan-truncation.
+		dir := t.TempDir()
+		meta := testMeta(n, blockSize)
+		meta.FirstWearer = 12
+		path := filepath.Join(dir, "short.wtl")
+		w, err := Create(path, meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 12; i < 18; i++ {
+			if err := w.Consume(testRecord(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		mustFailMerge(t, []string{s0, path}, "incomplete")
+	})
+	t.Run("foreign-sweep", func(t *testing.T) {
+		dir := t.TempDir()
+		meta := testMeta(n, blockSize)
+		meta.FleetSeed++
+		meta.FirstWearer = 12
+		path := filepath.Join(dir, "foreign.wtl")
+		w, err := Create(path, meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 12; i < n; i++ {
+			if err := w.Consume(testRecord(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		mustFailMerge(t, []string{s0, path}, "does not match")
+	})
+	t.Run("zero-shards", func(t *testing.T) {
+		mustFailMerge(t, nil, "zero shards")
+	})
+}
+
+func mustFailMerge(t *testing.T, paths []string, want string) {
+	t.Helper()
+	dst := filepath.Join(t.TempDir(), "merged.wtl")
+	_, _, err := MergeShards(dst, paths, nil)
+	if err == nil || !strings.Contains(err.Error(), want) {
+		t.Fatalf("merge error %v, want %q", err, want)
+	}
+}
+
+// TestCommitted pins the replication feed's summary: the reported
+// offset bounds the committed prefix (never including the trailing
+// index, which lies past the final checkpoint), next names the wearer
+// after the last committed one, and a store without a trustworthy
+// checkpoint is an error, not a guess.
+func TestCommitted(t *testing.T) {
+	const n, blockSize = 20, 8
+	path := writeStore(t, n, blockSize)
+	meta, off, next, err := Committed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta != testMeta(n, blockSize) {
+		t.Errorf("meta %+v", meta)
+	}
+	if next != n {
+		t.Errorf("next wearer %d, want %d", next, n)
+	}
+	st, _ := os.Stat(path)
+	if off <= 0 || off >= st.Size() {
+		t.Errorf("committed offset %d outside (0, %d): the trailing index must lie past it", off, st.Size())
+	}
+
+	// The committed prefix alone must scan-open as a complete store: this
+	// is the exact byte range a coordinator replicates.
+	trunc := filepath.Join(t.TempDir(), "prefix.wtl")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(trunc, raw[:off], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(trunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if recs := drain(t, r); len(recs) != n {
+		t.Errorf("committed prefix replays %d records, want %d", len(recs), n)
+	}
+
+	if err := os.Remove(CheckpointPath(path)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := Committed(path); err == nil {
+		t.Error("Committed without a checkpoint sidecar succeeded, want error")
+	}
+
+	if _, _, _, err := Committed(filepath.Join(t.TempDir(), "absent.wtl")); err == nil {
+		t.Error("Committed on a missing store succeeded, want error")
+	}
+	garbage := filepath.Join(t.TempDir(), "garbage.wtl")
+	if err := os.WriteFile(garbage, []byte("not a store"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := Committed(garbage); err == nil {
+		t.Error("Committed on a non-store file succeeded, want error")
+	}
+	// A store shorter than its checkpoint claims is inconsistent, not
+	// replicable: the sidecar no longer describes the file.
+	torn := writeStore(t, n, blockSize)
+	_, tornOff, _, err := Committed(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(torn, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(tornOff - 1); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, _, _, err := Committed(torn); err == nil {
+		t.Error("Committed on a store shorter than its checkpoint succeeded, want error")
+	}
+}
+
+// TestAdoptVersion pins the resume version rule both front ends share:
+// keep the store's own format while it can represent the sweep, step up
+// to the current one — surfacing a meta mismatch — when it cannot.
+func TestAdoptVersion(t *testing.T) {
+	cases := []struct {
+		store, cells           int
+		feedback, series, want bool // want: true = keep store version
+	}{
+		{FormatV0, 0, false, false, true},  // uncoupled store stays v0
+		{FormatV1, 5, false, false, true},  // coupled store stays v1
+		{FormatV2, 5, true, false, true},   // feedback store stays v2
+		{FormatV0, 5, false, false, false}, // coupled sweep outgrew v0
+		{FormatV1, 5, true, false, false},  // feedback sweep outgrew v1
+		{FormatV2, 5, true, true, false},   // series sweep outgrew v2
+	}
+	for _, c := range cases {
+		got := AdoptVersion(c.store, c.cells, c.feedback, c.series)
+		want := CurrentFormat
+		if c.want {
+			want = c.store
+		}
+		if got != want {
+			t.Errorf("AdoptVersion(v%d, cells=%d, feedback=%v, series=%v) = v%d, want v%d",
+				c.store, c.cells, c.feedback, c.series, got, want)
+		}
+	}
+}
+
+// TestWriterOffset: the writer's committed offset tracks exactly the
+// bytes a kill preserves — Committed reports the same number after Close.
+func TestWriterOffset(t *testing.T) {
+	const n, blockSize = 16, 4
+	path := filepath.Join(t.TempDir(), "run.wtl")
+	w, err := Create(path, testMeta(n, blockSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Offset() <= 0 {
+		t.Errorf("fresh writer offset %d, want > 0 (header is committed)", w.Offset())
+	}
+	header := w.Offset()
+	for i := 0; i < n; i++ {
+		if err := w.Consume(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Offset() <= header {
+		t.Errorf("closed writer offset %d did not grow past the header %d", w.Offset(), header)
+	}
+	_, off, _, err := Committed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != w.Offset() {
+		t.Errorf("Committed offset %d != writer offset %d", off, w.Offset())
+	}
+}

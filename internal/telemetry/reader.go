@@ -154,7 +154,7 @@ func (r *Reader) nextBlock() error {
 		if err != nil {
 			return err
 		}
-		if len(recs) == 0 || recs[0].Wearer != r.records {
+		if len(recs) == 0 || recs[0].Wearer != r.meta.FirstWearer+r.records {
 			return fmt.Errorf("%w: non-contiguous wearer indices", ErrCorrupt)
 		}
 		serOff := int64(0)

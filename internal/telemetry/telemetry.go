@@ -175,6 +175,27 @@ type Meta struct {
 	// FormatV3. The omitempty tag keeps series-off meta JSON — and hence
 	// the whole header — byte-identical to a v2 store's.
 	SeriesCadenceSeconds float64 `json:"series_cadence_seconds,omitempty"`
+	// FirstWearer and EndWearer bound the wearer range of a SHARD store:
+	// one contiguous slice [FirstWearer, EndWearer) of a Wearers-sized
+	// sweep, run by one backend of a sharded dispatch. Both zero (the
+	// omitempty default) means the store covers the full population —
+	// EndWearer 0 reads as Wearers — so every pre-shard store, and every
+	// store a merged sharded sweep produces, keeps a byte-identical
+	// header. Records still carry absolute wearer indices, and the
+	// checkpoint seed check still derives from them, so a shard store is
+	// a first-class resumable store over its sub-range.
+	FirstWearer int `json:"first_wearer,omitempty"`
+	EndWearer   int `json:"end_wearer,omitempty"`
+}
+
+// Range reports the wearer interval [first, end) the store covers:
+// [0, Wearers) unless the meta describes a shard store.
+func (m *Meta) Range() (first, end int) {
+	end = m.EndWearer
+	if end == 0 {
+		end = m.Wearers
+	}
+	return m.FirstWearer, end
 }
 
 // Series reports whether the store carries time-series frames.
@@ -211,6 +232,13 @@ func (m *Meta) validate() error {
 	}
 	if m.Series() && m.Version < FormatV3 {
 		return fmt.Errorf("telemetry: series-enabled sweep needs format v%d, store is v%d", FormatV3, m.Version)
+	}
+	if m.FirstWearer < 0 || m.EndWearer < 0 {
+		return fmt.Errorf("telemetry: negative shard range [%d,%d)", m.FirstWearer, m.EndWearer)
+	}
+	first, end := m.Range()
+	if first >= end || end > m.Wearers {
+		return fmt.Errorf("telemetry: shard range [%d,%d) outside population %d", first, end, m.Wearers)
 	}
 	return nil
 }

@@ -87,7 +87,8 @@ func Create(path string, meta Meta) (*Writer, error) {
 		f.Close()
 		return nil, fmt.Errorf("telemetry: write header: %w", err)
 	}
-	w := &Writer{f: f, path: path, meta: meta, hdrLen: int64(len(hdr)), offset: int64(len(hdr))}
+	w := &Writer{f: f, path: path, meta: meta, hdrLen: int64(len(hdr)),
+		next: meta.FirstWearer, offset: int64(len(hdr))}
 	if err := w.writeCheckpoint(); err != nil {
 		f.Close()
 		return nil, err
@@ -128,7 +129,7 @@ func resume(f *os.File, path string) (*Writer, error) {
 		return nil, fmt.Errorf("telemetry: resume: %w", err)
 	}
 	size := st.Size()
-	w := &Writer{f: f, path: path, meta: meta, hdrLen: hdrLen}
+	w := &Writer{f: f, path: path, meta: meta, hdrLen: hdrLen, next: meta.FirstWearer}
 	ck, ckErr := readCheckpoint(path, meta)
 	switch {
 	case ckErr == nil && ck.consistentWith(hdrLen, size):
@@ -199,8 +200,8 @@ func (w *Writer) Consume(rec Record) error {
 	if rec.Wearer != w.next {
 		return fmt.Errorf("telemetry: out-of-order record: wearer %d, expected %d", rec.Wearer, w.next)
 	}
-	if rec.Wearer >= w.meta.Wearers {
-		return fmt.Errorf("telemetry: wearer %d past population %d", rec.Wearer, w.meta.Wearers)
+	if _, end := w.meta.Range(); rec.Wearer >= end {
+		return fmt.Errorf("telemetry: wearer %d past store range end %d", rec.Wearer, end)
 	}
 	if rec.Cell >= 0 && w.meta.Version < FormatV1 {
 		// Refuse rather than silently drop: the cell column is replayed
@@ -310,7 +311,7 @@ func (w *Writer) Close() error {
 func (w *Writer) rebuildEntries() error {
 	w.entries = w.entries[:0]
 	pos := w.hdrLen
-	next := 0
+	next := w.meta.FirstWearer
 	for pos < w.offset {
 		recs, end, err := readFrameAt(w.f, pos, w.offset, w.meta.Version)
 		if err != nil {
