@@ -107,6 +107,12 @@
 // executing a given shard writes the identical byte sequence, so the
 // merged store — fingerprint, blocks, checkpoint and trailing index —
 // is bit-identical to the same spec run unsharded in a single process.
+// That guarantee covers series sampling: a sharded sweep accepts
+// series_seconds, each backend commits its record+series frame pairs in
+// one write (so the replicated committed prefix always ends after a
+// complete pair), and the merge re-pairs and re-encodes the samples at
+// the merged block boundaries — iobtrace query reads identical numbers
+// off the merged store and a single-backend run's.
 //
 // Feedback coupling adds a round: the coordinator first POSTs each
 // range to /api/loads on its backends, merges the partial load tables
@@ -124,9 +130,10 @@
 // endpoint) and appends from there. Backend selection consults
 // /healthz, which reports readiness — 200 while accepting work, 503
 // once draining — so a draining backend stops receiving shards.
-// TestShardedFingerprint (bytes and fingerprint vs an unsharded run,
-// both coupling modes) and TestShardedChaosKillResume (a backend
-// SIGKILLed mid-sweep and resurrected) pin the contract.
+// TestShardedFingerprint and TestShardedSeriesFingerprint (bytes and
+// fingerprint vs an unsharded run, both coupling modes, series on and
+// off) and TestShardedChaosKillResume (a backend SIGKILLed mid-sweep
+// and resurrected, byte-identity required afterwards) pin the contract.
 //
 // # Drain and restart
 //

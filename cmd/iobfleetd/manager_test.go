@@ -303,12 +303,24 @@ func TestShardSubCanonical(t *testing.T) {
 		t.Errorf("mid shard range (%d,%d), want (0,4)", mid.FirstWearer, mid.EndWearer)
 	}
 
-	// Series frames don't survive the record-level merge; the combination
-	// must be refused at submit time, not silently dropped at merge time.
+	// Series frames ride the merge's record re-encode (the shard Reader
+	// re-pairs them, the merged Writer re-cuts the pairs at its own block
+	// boundaries), so a sharded sweep accepts series_seconds and the
+	// sub-specs carry the cadence through to every backend.
 	withSeries := minimalSpec(7)
 	withSeries.Shards = 2
 	withSeries.SeriesSeconds = 0.5
-	if err := withSeries.normalize(); err == nil {
-		t.Error("sharded spec with series_seconds accepted")
+	if err := withSeries.normalize(); err != nil {
+		t.Errorf("sharded spec with series_seconds refused: %v", err)
+	}
+	seriesSub := shardSub(withSeries, [2]int{0, 4})
+	if seriesSub.SeriesSeconds != 0.5 {
+		t.Errorf("sub-spec dropped series cadence: %v", seriesSub.SeriesSeconds)
+	}
+	if err := seriesSub.normalize(); err != nil {
+		t.Errorf("series sub-spec fails normalize: %v", err)
+	}
+	if _, meta, err := seriesSub.build(nil); err != nil || !meta.Series() {
+		t.Errorf("series sub-spec builds a series-off store (meta %+v, err %v)", meta, err)
 	}
 }

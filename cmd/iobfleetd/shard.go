@@ -9,7 +9,13 @@ package main
 // and, in feedback mode, runs the one deterministic equilibrium solve;
 // the dispatch round then ships each shard its window of the solved
 // results. Shard stores replicate back block by block as they commit and
-// merge into one store bit-identical to a single-process run.
+// merge into one store bit-identical to a single-process run. Series
+// sampling (series_seconds) rides the same protocol unchanged: each
+// backend commits record+series frame pairs in one write, so the
+// committed-prefix replication boundary (X-Committed-Offset) always
+// sits after a complete pair, and telemetry.MergeShards re-pairs and
+// re-encodes the samples at the merged block boundaries — the merged
+// series store, trailing query index included, is byte-identical too.
 //
 // Fault model: a backend lost mid-shard is re-dispatched — to itself
 // after a restart (the label finds the recovered sweep, which resumes
@@ -205,7 +211,10 @@ func (m *manager) getJSON(url string, out any) error {
 // spec: phase 1 merges commutative integer tables, the solve is a pure
 // function of the concatenated members, phase-2 records are pure
 // functions of (seed, wearer, tables), and the merge re-encodes the
-// identical record sequence through the same Writer.
+// identical record sequence — series samples re-paired at the merged
+// block boundaries — through the same Writer. A failed merge removes
+// its partial output (Writer.Discard), so the shard partials on disk
+// stay the only recovery state.
 func (m *manager) runSharded(sw *sweep, spec sweepSpec, storePath string) {
 	start := time.Now()
 	ranges := shardRanges(spec.Wearers, spec.Shards)

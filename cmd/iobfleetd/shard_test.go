@@ -8,6 +8,9 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"wiban/internal/fleet"
+	"wiban/internal/telemetry"
 )
 
 // freePort reserves an address a daemon can be restarted on: unlike
@@ -32,6 +35,60 @@ func storeBytes(t *testing.T, dir, id string) []byte {
 		t.Fatal(err)
 	}
 	return raw
+}
+
+// groundTruthStore runs spec uninterrupted in this process, streaming
+// its records into a single-writer telemetry store, and returns the
+// store's bytes plus the run's fingerprint — the exact artifacts a
+// sharded (or chaos-ridden) daemon run must reproduce bit for bit.
+func groundTruthStore(t *testing.T, spec sweepSpec) ([]byte, string) {
+	t.Helper()
+	f, meta, err := spec.build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "truth.wtl")
+	w, err := telemetry.Create(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := fleet.NewStreamAggregator(f.Span)
+	if _, err := f.Stream(fleet.Tee(w, agg)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw, agg.Report().Fingerprint()
+}
+
+// sameQueryStats compares two stores' QueryStore aggregates — the same
+// numbers iobtrace query prints — over a few representative queries.
+func sameQueryStats(t *testing.T, mergedPath, singlePath string) {
+	t.Helper()
+	for _, q := range []telemetry.Query{
+		{Metric: "charge", Cell: -1, Node: -1},
+		{Metric: "queue", FromMS: 2000, Cell: 2, Node: -1},
+		{Metric: "per", Cell: -1, Node: 0},
+	} {
+		m, err := telemetry.QueryStore(mergedPath, q)
+		if err != nil {
+			t.Fatalf("query merged store: %v", err)
+		}
+		s, err := telemetry.QueryStore(singlePath, q)
+		if err != nil {
+			t.Fatalf("query single store: %v", err)
+		}
+		if m.Points != s.Points || m.Gaps != s.Gaps || m.Sum != s.Sum ||
+			m.Min != s.Min || m.Max != s.Max || m.Percentile(100) != s.Percentile(100) {
+			t.Errorf("query %+v diverged: merged {pts=%d gaps=%d sum=%v} vs single {pts=%d gaps=%d sum=%v}",
+				q, m.Points, m.Gaps, m.Sum, s.Points, s.Gaps, s.Sum)
+		}
+	}
 }
 
 // TestShardedFingerprint is the acceptance gate for shard dispatch: a
@@ -115,6 +172,81 @@ func TestShardedFingerprint(t *testing.T) {
 	}
 }
 
+// TestShardedSeriesFingerprint is the acceptance gate for sharded
+// series sweeps: a -series sweep split 3 ways across two backends must
+// merge into a store byte-identical — fingerprint, samples, trailing
+// index and all — to an uninterrupted single-writer run AND to the same
+// spec run unsharded through a single backend, in both coupling modes,
+// with QueryStore (the aggregation path iobtrace query drives) reading
+// identical numbers off the merged and single-backend stores.
+func TestShardedSeriesFingerprint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-daemon lifecycle in -short mode")
+	}
+	b0dir := t.TempDir()
+	b0 := startDaemon(t, b0dir)
+	b1 := startDaemon(t, t.TempDir())
+	coDir := t.TempDir()
+	co := startDaemon(t, coDir, "-backends", b0.base+","+b1.base)
+
+	cases := []struct {
+		name    string
+		sharded string // shards:3 coordinator spec with series sampling on
+		single  string // identical spec, no shards
+	}{
+		{
+			"first-order",
+			`{"wearers":120,"seed":14,"dur_seconds":10,"workers":2,"ble_frac":0.5,"cells":8,"series_seconds":2,"block_size":16,"shards":3}`,
+			`{"wearers":120,"seed":14,"dur_seconds":10,"workers":2,"ble_frac":0.5,"cells":8,"series_seconds":2,"block_size":16}`,
+		},
+		{
+			"feedback",
+			`{"wearers":120,"seed":15,"dur_seconds":10,"workers":2,"ble_frac":0.5,"cells":8,"feedback":true,"max_iters":64,"tol_ppm":200,"series_seconds":2,"block_size":16,"shards":3}`,
+			`{"wearers":120,"seed":15,"dur_seconds":10,"workers":2,"ble_frac":0.5,"cells":8,"feedback":true,"max_iters":64,"tol_ppm":200,"series_seconds":2,"block_size":16}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sharded := co.submit(tc.sharded)
+			done := co.awaitStatus(sharded.ID, statusDone, 120*time.Second)
+
+			// Ground truth 1: an uninterrupted in-process single-writer store.
+			var spec sweepSpec
+			mustUnmarshalSpec(t, tc.sharded, &spec)
+			truth, fp := groundTruthStore(t, spec)
+			if done.Fingerprint != fp {
+				t.Errorf("sharded series fingerprint %q != in-process %q", done.Fingerprint, fp)
+			}
+			if done.Records != spec.Wearers {
+				t.Errorf("sharded records %d, want %d", done.Records, spec.Wearers)
+			}
+			merged := storeBytes(t, coDir, sharded.ID)
+			if !bytes.Equal(merged, truth) {
+				t.Errorf("merged series store differs byte-for-byte from the single-writer store (%d vs %d bytes)",
+					len(merged), len(truth))
+			}
+
+			// Ground truth 2: the same spec unsharded on one backend — the
+			// stores must match byte-for-byte and query identically.
+			single := b0.submit(tc.single)
+			singleDone := b0.awaitStatus(single.ID, statusDone, 120*time.Second)
+			if singleDone.Fingerprint != done.Fingerprint {
+				t.Errorf("unsharded daemon fingerprint %q != sharded %q", singleDone.Fingerprint, done.Fingerprint)
+			}
+			if !bytes.Equal(merged, storeBytes(t, b0dir, single.ID)) {
+				t.Error("merged shard store differs byte-for-byte from the single-backend store")
+			}
+			sameQueryStats(t, filepath.Join(coDir, sharded.ID+".wtl"), filepath.Join(b0dir, single.ID+".wtl"))
+
+			// Shard partials must not outlive the merge.
+			leftovers, _ := filepath.Glob(filepath.Join(coDir, sharded.ID+".shard*"))
+			if len(leftovers) != 0 {
+				t.Errorf("shard partials left after merge: %v", leftovers)
+			}
+		})
+	}
+}
+
 // TestShardedLoopback covers self-dispatch: with no -backends the
 // coordinator ships its shards to itself, which needs spare runner
 // slots (the coordinator occupies one while its shards run).
@@ -149,9 +281,12 @@ func TestShardedLoopback(t *testing.T) {
 // back on the same address and data directory. The coordinator must
 // ride it out — re-dispatching the lost shards to the survivor (which
 // seed-pulls the partial replica) or to the restarted backend (which
-// resumes its recovered sweep by label) — and still merge a store whose
-// fingerprint matches an uninterrupted single-process run. Both
-// coupling modes, because they exercise different dispatch rounds.
+// resumes its recovered sweep by label) — and still merge a store
+// byte-identical, fingerprint included, to an uninterrupted
+// single-process run. Both coupling modes, because they exercise
+// different dispatch rounds; plus a series sweep, because a kill can
+// tear a replicated record+series pair mid-frame and the recovery scan
+// must discard the torn pair on both sides of the replication.
 func TestShardedChaosKillResume(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second kill/restart lifecycle in -short mode")
@@ -162,13 +297,15 @@ func TestShardedChaosKillResume(t *testing.T) {
 	}{
 		{"first-order", `{"wearers":6000,"seed":21,"dur_seconds":30,"workers":2,"ble_frac":0.5,"cells":16,"block_size":64,"shards":3}`},
 		{"feedback", `{"wearers":6000,"seed":22,"dur_seconds":30,"workers":2,"ble_frac":0.5,"cells":16,"feedback":true,"max_iters":64,"tol_ppm":200,"block_size":64,"shards":3}`},
+		{"series", `{"wearers":6000,"seed":23,"dur_seconds":30,"workers":2,"ble_frac":0.5,"cells":16,"series_seconds":10,"block_size":64,"shards":3}`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			b0dir, b0addr := t.TempDir(), freePort(t)
 			b0 := startDaemon(t, b0dir, "-listen", b0addr)
 			b1 := startDaemon(t, t.TempDir())
-			co := startDaemon(t, t.TempDir(), "-backends", b0.base+","+b1.base)
+			coDir := t.TempDir()
+			co := startDaemon(t, coDir, "-backends", b0.base+","+b1.base)
 
 			id := co.submit(tc.spec).ID
 
@@ -199,19 +336,15 @@ func TestShardedChaosKillResume(t *testing.T) {
 			done := co.awaitStatus(id, statusDone, 300*time.Second)
 			var spec sweepSpec
 			mustUnmarshalSpec(t, tc.spec, &spec)
-			f, _, err := spec.build(nil)
-			if err != nil {
-				t.Fatal(err)
-			}
-			rep, _, err := f.Run()
-			if err != nil {
-				t.Fatal(err)
-			}
-			if done.Fingerprint != rep.Fingerprint() {
-				t.Errorf("post-chaos fingerprint %q != uninterrupted %q", done.Fingerprint, rep.Fingerprint())
+			truth, fp := groundTruthStore(t, spec)
+			if done.Fingerprint != fp {
+				t.Errorf("post-chaos fingerprint %q != uninterrupted %q", done.Fingerprint, fp)
 			}
 			if done.Records != spec.Wearers {
 				t.Errorf("records %d, want %d", done.Records, spec.Wearers)
+			}
+			if !bytes.Equal(storeBytes(t, coDir, id), truth) {
+				t.Error("post-chaos merged store differs byte-for-byte from an uninterrupted single-writer run")
 			}
 			// The loss must have been visible to the retry machinery.
 			if got := metricValue(t, co.metrics(), "iobfleetd_shard_retries_total"); got <= 0 {

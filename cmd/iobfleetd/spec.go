@@ -130,11 +130,6 @@ func (s *sweepSpec) normalize() error {
 	if s.Shards > 0 && (s.FirstWearer != 0 || s.EndWearer != 0 || s.Label != "" || s.SeedStoreURL != "" || s.Presolved != nil) {
 		return fmt.Errorf("shards is a coordinator knob; first_wearer/end_wearer/label/seed_store_url/presolved describe one shard — a spec carries one side only")
 	}
-	if s.Shards > 1 && s.SeriesSeconds > 0 {
-		// The merge re-encodes records only; series frames would silently
-		// vanish from the merged store. Refuse until the merge carries them.
-		return fmt.Errorf("series_seconds is not yet supported on a sharded sweep")
-	}
 	if s.FirstWearer < 0 || s.EndWearer < 0 {
 		return fmt.Errorf("negative wearer range [%d,%d)", s.FirstWearer, s.EndWearer)
 	}

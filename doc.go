@@ -51,9 +51,11 @@
 //     coordinator): shards gather loads, the coordinator merges and
 //     solves the equilibrium once, shards simulate their windows and
 //     replicate committed telemetry blocks back, and because seeds
-//     derive from absolute wearer indices the merged store is
-//     byte-identical to a single-process run, even after a backend is
-//     SIGKILLed and resumed mid-sweep;
+//     derive from absolute wearer indices the merged store — per-node
+//     time series included: record+series frame pairs are re-paired
+//     and re-encoded at the merged block boundaries — is byte-identical
+//     to a single-process run, even after a backend is SIGKILLed and
+//     resumed mid-sweep;
 //   - internal/spectrum — cross-wearer co-channel interference: wearers
 //     hash into spatial cells, each cell sums its members' offered RF
 //     airtime in exact integer PPM, and a CSMA/ALOHA collision curve

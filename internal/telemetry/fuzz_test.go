@@ -76,6 +76,36 @@ func seriesStoreBytes(f *testing.F) []byte {
 	return data
 }
 
+// shardSeriesStoreBytes renders a v3 shard store — nonzero FirstWearer,
+// record+series pairs whose block boundaries (20/28/36) straddle the
+// merged store's 0-based grid — for fuzz seeding: both readers and the
+// Resume scan must key wearer contiguity on the store's own range, never
+// on wearer 0.
+func shardSeriesStoreBytes(f *testing.F) []byte {
+	f.Helper()
+	path := filepath.Join(f.TempDir(), "shard-seed.wtl")
+	meta := Meta{FleetSeed: 42, Wearers: 44, SpanSeconds: 30, BlockSize: 8,
+		Version: FormatV3, Cells: 5, Feedback: true, SeriesCadenceSeconds: 0.5,
+		FirstWearer: 20}
+	w, err := Create(path, meta)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 20; i < 44; i++ {
+		if err := w.Consume(seriesRecord(i)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}
+
 // FuzzReader throws corrupted, truncated and adversarial byte streams at
 // both reader modes (checkpoint-less Open and OpenStrict) and at the
 // Resume scan fallback. The contract under fuzz: never panic, never
@@ -94,6 +124,12 @@ func FuzzReader(f *testing.F) {
 	f.Add(series)
 	f.Add(series[:len(series)-50])
 	f.Add(series[:2*len(series)/3])
+	// Shard stores (nonzero FirstWearer) with seam-straddling series
+	// pairs: whole, torn mid-pair, and truncated mid-block.
+	shard := shardSeriesStoreBytes(f)
+	f.Add(shard)
+	f.Add(shard[:len(shard)-60])
+	f.Add(shard[:len(shard)/2])
 	f.Add([]byte{})
 	f.Add([]byte("WBTL1\x00"))
 	f.Add([]byte("not a store at all"))
@@ -135,13 +171,14 @@ func FuzzReader(f *testing.F) {
 				continue
 			}
 			records := 0
+			first := r.Meta().FirstWearer // shard stores start past wearer 0
 			for {
 				rec, err := r.Next()
 				if err == io.EOF || (err != nil) {
 					break
 				}
-				if rec.Wearer != records {
-					t.Fatalf("reader emitted wearer %d at position %d", rec.Wearer, records)
+				if rec.Wearer != first+records {
+					t.Fatalf("reader emitted wearer %d at position %d (range starts at %d)", rec.Wearer, records, first)
 				}
 				records++
 				if records > len(data) {

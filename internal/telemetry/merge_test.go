@@ -92,6 +92,130 @@ func TestMergeShardsByteIdentical(t *testing.T) {
 	}
 }
 
+// writeSeriesShard is writeShard lifted to a series-enabled v3 store:
+// the shard's records carry the deterministic seriesRecord samples, so
+// its block boundaries (cut at FirstWearer+k·BlockSize) straddle the
+// merged store's 0-based grid.
+func writeSeriesShard(t *testing.T, dir string, n, blockSize, first, end int) string {
+	t.Helper()
+	meta := seriesMeta(n, blockSize)
+	meta.FirstWearer = first
+	if end != n {
+		meta.EndWearer = end
+	}
+	path := filepath.Join(dir, "shard.wtl")
+	w, err := Create(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := first; i < end; i++ {
+		if err := w.Consume(seriesRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestMergeShardsSeriesByteIdentical extends the merge's core contract
+// to series-enabled stores: shards whose record+series pairs were cut at
+// shard-local block boundaries must re-pair and re-encode into a store
+// byte-identical to the single-writer -series run — samples, NaN gap
+// markers, checkpoints and the trailing query index all included — with
+// the sink seeing every record's series attached.
+func TestMergeShardsSeriesByteIdentical(t *testing.T) {
+	const n, blockSize = 37, 8
+	full := writeSeriesStore(t, n, blockSize)
+
+	// Uneven tiling: shard boundaries at 13 and 25 fall mid-block on the
+	// merged grid (blocks at 8/16/24/32), so every shard seam forces the
+	// merged writer to buffer borrowed records across a shard switch.
+	ranges := [][2]int{{0, 13}, {13, 25}, {25, n}}
+	paths := make([]string, len(ranges))
+	for i, rng := range ranges {
+		paths[i] = writeSeriesShard(t, t.TempDir(), n, blockSize, rng[0], rng[1])
+	}
+
+	dst := filepath.Join(t.TempDir(), "merged.wtl")
+	next := 0
+	sinkPoints := int64(0)
+	blocks, size, err := MergeShards(dst, paths, func(rec Record) error {
+		if rec.Wearer != next {
+			t.Fatalf("sink saw wearer %d, want %d", rec.Wearer, next)
+		}
+		if want := seriesRecord(next); !samePoints(rec.Series, want.Series) {
+			t.Fatalf("sink record %d: series diverged from the shard's samples", next)
+		}
+		sinkPoints += int64(len(rec.Series))
+		next++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != n {
+		t.Fatalf("sink saw %d records, want %d", next, n)
+	}
+
+	want, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("merged series store differs from single-writer store: %d vs %d bytes", len(got), len(want))
+	}
+	if st, _ := os.Stat(dst); st.Size() != size {
+		t.Errorf("MergeShards reported size %d, file is %d", size, st.Size())
+	}
+
+	// The merged store must replay every sample, survive a strict audit
+	// (its trailing index restates the re-cut blocks), and serve index-
+	// pruned queries identically to the single-writer store.
+	r, err := Open(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	recs := drain(t, r)
+	if len(recs) != n || r.Blocks() != blocks {
+		t.Fatalf("merged store holds %d records in %d blocks (MergeShards said %d)", len(recs), r.Blocks(), blocks)
+	}
+	if r.SeriesPoints() != sinkPoints {
+		t.Errorf("merged store replays %d series points, sink saw %d", r.SeriesPoints(), sinkPoints)
+	}
+	rs, err := OpenStrict(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if audit := drain(t, rs); len(audit) != n {
+		t.Fatalf("strict audit of merged store read %d records, want %d", len(audit), n)
+	}
+	for _, q := range []Query{
+		{Metric: "charge", Cell: -1, Node: -1},
+		{Metric: "per", FromMS: 1000, ToMS: 2500, Cell: 3, Node: -1},
+	} {
+		m, err := QueryStore(dst, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := QueryStore(full, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Points != s.Points || m.Gaps != s.Gaps || m.Sum != s.Sum || m.Min != s.Min || m.Max != s.Max {
+			t.Errorf("query %+v over merged store diverged: got {pts=%d gaps=%d sum=%v}, want {pts=%d gaps=%d sum=%v}",
+				q, m.Points, m.Gaps, m.Sum, s.Points, s.Gaps, s.Sum)
+		}
+	}
+}
+
 // TestMergeShardsRejects pins the merge's refusal set: gaps, overlaps,
 // truncated shards and mismatched sweep identities must all fail rather
 // than silently produce a plausible store.
@@ -158,14 +282,47 @@ func TestMergeShardsRejects(t *testing.T) {
 	t.Run("zero-shards", func(t *testing.T) {
 		mustFailMerge(t, nil, "zero shards")
 	})
+	t.Run("corrupt-shard", func(t *testing.T) {
+		// Damage inside a shard's checkpointed prefix surfaces as a copy
+		// error mid-merge — after the merged writer already committed
+		// blocks — and must still clean up dst.
+		dir := t.TempDir()
+		bad := filepath.Join(dir, "bad.wtl")
+		raw, err := os.ReadFile(s1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)/2] ^= 0x40
+		if err := os.WriteFile(bad, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ck, err := os.ReadFile(CheckpointPath(s1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(CheckpointPath(bad), ck, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mustFailMerge(t, []string{s0, bad}, "merge shard 1")
+	})
 }
 
+// mustFailMerge asserts the merge fails with want in its error — and,
+// the leak regression: that the failure left neither a partial merged
+// store nor its checkpoint sidecar behind. A leftover dst is derived
+// data masquerading as real state; recovery must never find one.
 func mustFailMerge(t *testing.T, paths []string, want string) {
 	t.Helper()
 	dst := filepath.Join(t.TempDir(), "merged.wtl")
 	_, _, err := MergeShards(dst, paths, nil)
 	if err == nil || !strings.Contains(err.Error(), want) {
 		t.Fatalf("merge error %v, want %q", err, want)
+	}
+	if _, serr := os.Stat(dst); !os.IsNotExist(serr) {
+		t.Errorf("failed merge left a partial store behind (stat err = %v)", serr)
+	}
+	if _, serr := os.Stat(CheckpointPath(dst)); !os.IsNotExist(serr) {
+		t.Errorf("failed merge left a checkpoint sidecar behind (stat err = %v)", serr)
 	}
 }
 

@@ -238,3 +238,42 @@ func TestQueryHeaderOnlyStore(t *testing.T) {
 		t.Fatalf("header-only store produced non-empty stats: %+v", stats)
 	}
 }
+
+// TestSeriesStatsPercentileRank pins Percentile's documented rank
+// convention — floor(n·pct/100), clamped to [0, n-1] — at the exact
+// boundaries where the float rank computation is easiest to get wrong:
+// pct=100 computes rank n and must clamp down to the max sample, even
+// on the n=1 store where rank 1 of a single value exists only after the
+// clamp.
+func TestSeriesStatsPercentileRank(t *testing.T) {
+	mk := func(vals ...float64) *SeriesStats {
+		s := &SeriesStats{}
+		for _, v := range vals {
+			s.add(v)
+		}
+		return s
+	}
+	one := mk(7.5)
+	for _, pct := range []float64{0, 50, 99.999, 100} {
+		if got := one.Percentile(pct); got != 7.5 {
+			t.Errorf("n=1 p%v = %v, want 7.5", pct, got)
+		}
+	}
+	four := mk(40, 10, 30, 20) // unsorted on purpose: Percentile sorts once
+	for _, c := range []struct{ pct, want float64 }{
+		{0, 10},   // rank 0: the minimum
+		{24, 10},  // floor(4·24/100) = 0 — still the minimum
+		{25, 20},  // the rank lands exactly on 1
+		{50, 30},  // upper median, rank 2 — floor convention, no interpolation
+		{75, 40},  // rank 3: p75 of four samples is already the max
+		{100, 40}, // rank 4, clamped to 3
+	} {
+		if got := four.Percentile(c.pct); got != c.want {
+			t.Errorf("n=4 p%v = %v, want %v", c.pct, got, c.want)
+		}
+	}
+	var empty SeriesStats
+	if got := empty.Percentile(100); got != 0 {
+		t.Errorf("empty stats p100 = %v, want 0", got)
+	}
+}

@@ -73,6 +73,14 @@ func Create(path string, meta Meta) (*Writer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: create: %w", err)
 	}
+	// A failed create leaves nothing: the file was truncated the moment it
+	// opened, so whatever used to live at path is already gone, and a
+	// headerless or checkpoint-less husk would only confuse later recovery.
+	fail := func(err error) (*Writer, error) {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
 	// Remove any leftover sidecar from a previous run at this path BEFORE
 	// the store gains content. The old sidecar describes the overwritten
 	// file: if it survived until our own first checkpoint rename — e.g.
@@ -80,18 +88,15 @@ func Create(path string, meta Meta) (*Writer, error) {
 	// Resume could trust it (same seed ⇒ its SeedCheck still verifies) and
 	// truncate the fresh store at a stale offset, mid-frame.
 	if err := os.Remove(CheckpointPath(path)); err != nil && !os.IsNotExist(err) {
-		f.Close()
-		return nil, fmt.Errorf("telemetry: remove stale checkpoint: %w", err)
+		return fail(fmt.Errorf("telemetry: remove stale checkpoint: %w", err))
 	}
 	if _, err := f.Write(hdr); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("telemetry: write header: %w", err)
+		return fail(fmt.Errorf("telemetry: write header: %w", err))
 	}
 	w := &Writer{f: f, path: path, meta: meta, hdrLen: int64(len(hdr)),
 		next: meta.FirstWearer, offset: int64(len(hdr))}
 	if err := w.writeCheckpoint(); err != nil {
-		f.Close()
-		return nil, err
+		return fail(err)
 	}
 	return w, nil
 }
@@ -192,7 +197,10 @@ func (w *Writer) Offset() int64 { return w.offset }
 
 // Consume appends one wearer record; it implements the fleet engine's
 // Sink interface. Records must arrive in strict wearer order. The writer
-// copies the record's node slice, so callers may reuse theirs.
+// copies both slice-typed fields — rec.Nodes and rec.Series — into its
+// block arenas before returning, so callers may reuse theirs; this is
+// what lets MergeShards feed it records that borrow a shard Reader's
+// decode buffers.
 func (w *Writer) Consume(rec Record) error {
 	if w.closed {
 		return fmt.Errorf("telemetry: write to closed store %s", w.path)
@@ -336,8 +344,30 @@ func (w *Writer) rebuildEntries() error {
 
 // Abort closes the file without flushing buffered records or advancing
 // the checkpoint — the in-process equivalent of a kill, used by the
-// resume tests and fatal paths that must not mask an earlier error.
+// resume tests and fatal paths that must not mask an earlier error. The
+// store and its checkpointed prefix stay on disk so the sweep can
+// resume; a writer whose output is worthless without a successful Close
+// should call Discard instead.
 func (w *Writer) Abort() error {
 	w.closed = true
 	return w.f.Close()
+}
+
+// Discard is Abort plus cleanup: it closes the file and unlinks both the
+// store and its checkpoint sidecar. It exists for writers whose partial
+// output must never be mistaken for resumable state — above all a merge
+// destination, which is derived data: the shard stores it was built from
+// remain the durable truth, so a failed merge removes its half-written
+// dst rather than stranding a plausible-looking store (and a sidecar
+// that describes it) in the data directory.
+func (w *Writer) Discard() error {
+	w.Abort() // double-close after a failed Close is harmless; removal is the contract
+	err := os.Remove(w.path)
+	if os.IsNotExist(err) {
+		err = nil
+	}
+	if serr := os.Remove(CheckpointPath(w.path)); err == nil && serr != nil && !os.IsNotExist(serr) {
+		err = serr
+	}
+	return err
 }
