@@ -5,7 +5,9 @@
 // Usage:
 //
 //	iobfleetd -listen 127.0.0.1:9370 -data /var/lib/iobfleetd -sweeps 2 \
-//	    [-backends http://b0:9370,http://b1:9370]
+//	    [-backends http://b0:9370,http://b1:9370] \
+//	    [-register http://co:9370 -heartbeat 2s] \
+//	    [-expire 10s] [-steal-after 15s] [-retain 100]
 //
 // # Endpoints
 //
@@ -15,16 +17,20 @@
 // tol_ppm, series_seconds, block_size, shards — all literal, no
 // server-side defaults beyond zero values):
 //
-//	POST /api/sweeps                    submit → 202 + sweep state
-//	GET  /api/sweeps                    all sweeps, submission order
-//	GET  /api/sweeps/{id}               one sweep's state
-//	GET  /api/sweeps/{id}/progress      NDJSON progress stream (curl -N)
-//	POST /api/loads                     phase-1 gather for a shard spec
-//	GET  /api/sweeps/{id}/store         committed telemetry prefix
-//	GET  /api/sweeps/{id}/shards/{k}/store  a coordinator's shard partial
-//	GET  /metrics                       Prometheus text exposition 0.0.4
-//	GET  /healthz                       readiness (503 while draining)
-//	GET  /debug/pprof/...               live profiling
+//	POST   /api/sweeps                  submit → 202 + sweep state
+//	GET    /api/sweeps                  all sweeps, submission order
+//	GET    /api/sweeps/{id}             one sweep's state
+//	DELETE /api/sweeps/{id}             cancel (200; 409 once terminal)
+//	GET    /api/sweeps/{id}/progress    NDJSON progress stream (curl -N)
+//	POST   /api/loads                   phase-1 gather for a shard spec
+//	GET    /api/sweeps/{id}/store       committed telemetry prefix
+//	GET    /api/sweeps/{id}/shards/{k}/store  a coordinator's shard partial
+//	POST   /api/backends                register/heartbeat a backend
+//	GET    /api/backends                the membership table
+//	DELETE /api/backends?url=...        deregister (a heartbeat's goodbye)
+//	GET    /metrics                     Prometheus text exposition 0.0.4
+//	GET    /healthz                     readiness (503 while draining)
+//	GET    /debug/pprof/...             live profiling
 //
 // The store endpoints serve exactly the checkpointed byte prefix —
 // never the volatile tail or the trailing index — honoring ?from= for
@@ -82,12 +88,22 @@
 //	                                    TotalAlloc delta per sweep — an
 //	                                    upper bound under concurrency)
 //
-// Shard dispatch (coordinator side):
+// Shard dispatch and fleet membership (coordinator side):
 //
 //	iobfleetd_shards_dispatched_total   sub-sweeps shipped to a backend
+//	iobfleetd_shards_stolen_total       speculative copies planted past -steal-after
 //	iobfleetd_shard_retries_total       dispatch/stream attempts retried
 //	iobfleetd_shard_fetch_bytes_total   committed store bytes pulled back
 //	iobfleetd_backends_configured       size of the -backends list (gauge)
+//	iobfleetd_backends_registered       membership table size incl. static (gauge)
+//	iobfleetd_backends_live             members currently past their TTL gate (gauge)
+//	iobfleetd_backend_registrations_total  POST /api/backends registrations + revivals
+//	iobfleetd_backends_expired_total    live→expired transitions (lazy, counted on read)
+//
+// Cancellation and retention:
+//
+//	iobfleetd_sweeps_cancelled_total    parked terminally by DELETE
+//	iobfleetd_sweeps_retired_total      terminal sweeps GC'd past -retain
 //
 // Go runtime: iobfleetd_goroutines, iobfleetd_heap_alloc_bytes,
 // iobfleetd_gc_cycles_total.
@@ -97,10 +113,11 @@
 // A sweep submitted with "shards": N > 1 makes this daemon a
 // coordinator: it splits the wearer range [0, Wearers) into N
 // contiguous sub-ranges, submits each as an ordinary sweep (same spec,
-// first_wearer/end_wearer set, shards stripped) to the backends named
-// by -backends — or to itself over loopback when the flag is unset,
-// which needs spare -sweeps slots because the coordinator sweep
-// occupies one while its shards run — then streams each shard's
+// first_wearer/end_wearer set, shards stripped) to the live fleet —
+// the -backends list plus every dynamically registered member (see
+// Fleet membership below) — or to itself over loopback when the table
+// is empty, which needs spare -sweeps slots because the coordinator
+// sweep occupies one while its shards run — then streams each shard's
 // committed store bytes back incrementally and merges the replicas
 // into one <id>.wtl. Because per-wearer seeds derive from absolute
 // indices and block boundaries are deterministic, every backend
@@ -129,11 +146,86 @@
 // dir seed-pulls the coordinator's partial replica (the shards/{k}
 // endpoint) and appends from there. Backend selection consults
 // /healthz, which reports readiness — 200 while accepting work, 503
-// once draining — so a draining backend stops receiving shards.
+// once draining — so a draining backend stops receiving shards. Each
+// sweep response carries an X-Iobfleetd-Instance nonce, so a
+// supervisor notices a backend that was killed and restarted between
+// two polls even when the address never changed.
 // TestShardedFingerprint and TestShardedSeriesFingerprint (bytes and
 // fingerprint vs an unsharded run, both coupling modes, series on and
 // off) and TestShardedChaosKillResume (a backend SIGKILLed mid-sweep
 // and resurrected, byte-identity required afterwards) pin the contract.
+//
+// # Fleet membership
+//
+// Besides the static -backends list, backends join the fleet by
+// registering themselves: a daemon started with -register posts its
+// own base URL to each named coordinator's /api/backends and keeps
+// heartbeating it every -heartbeat interval; on drain the loop sends a
+// goodbye DELETE so the coordinator stops selecting a backend that is
+// about to exit. A member that falls silent past the coordinator's
+// -expire TTL stops being selected for new shard placement — but
+// expiry gates placement only: a supervisor's host list is sticky, so
+// replication keeps pulling from an "expired" backend that still
+// answers, and an in-flight shard is never dropped by a missed
+// heartbeat. Expiry is lazy-on-read (checked when the table is
+// consulted, counted once per live→expired transition), an expired
+// entry stays in the table and revives in place on the next heartbeat
+// (one row per address, however often it blinks), and the dynamic
+// table persists beside the sweeps (<data>/backends.json) so a
+// coordinator restart recovers its fleet without waiting for the next
+// heartbeat round. While the table is non-empty but nothing is live,
+// sharded dispatch waits for a member to come back rather than falling
+// back to loopback. TestMembershipTable and
+// TestMembershipExpiryKeepsInFlightDispatch pin the semantics.
+//
+// # Work-stealing
+//
+// A shard whose committed progress stalls for longer than -steal-after
+// while other backends sit live is speculatively re-dispatched: the
+// supervisor plants a copy of the sub-sweep (same deterministic label,
+// disjoint data dirs) on another live backend and replicates from
+// whichever copy commits first; completion is committed-prefix wins —
+// a copy only finishes the shard when its replicated bytes reach the
+// shard's end. The losing copy is cancelled on its backend so no queue
+// slot or runner is left working for a shard someone else finished.
+// Because every backend executing a shard writes the identical byte
+// sequence, speculation never risks divergence — the merged store is
+// byte-identical no matter which copy won. -steal-after 0 disables
+// stealing. TestStealStraggler (a backend whose only slot is hogged;
+// the copy wins elsewhere and the loser is cancelled) and
+// TestStealKilledBackendNeverRestarts (a SIGKILLed backend that never
+// comes back; survivors absorb its shards, byte-identity required)
+// pin it, and TestSustainedChaos keeps the whole self-healing surface
+// honest under a seeded adversary of kills, drains, restarts, spawns
+// and cancellations.
+//
+// # Cancellation
+//
+// DELETE /api/sweeps/{id} parks a sweep terminally from any live
+// state: a queued sweep never starts (its slot is released), a running
+// sweep aborts at its next record boundary, and a coordinator sweep
+// additionally cancels every sub-sweep on every backend and removes
+// its partial shard stores — cancelled means no runner, no queue slot
+// and no partials anywhere in the fleet. The request is idempotent
+// (re-DELETE of a cancelled sweep is 200 without recounting); a sweep
+// already done or failed answers 409. Cancellation is durable: the
+// request is recorded in the sidecar, so a daemon killed between the
+// DELETE and the park finalizes the cancel on recovery instead of
+// resuming the sweep. The committed telemetry written before the
+// cancel stays on disk (useful as a partial trace) until retention
+// collects it. TestCancelQueued/Running/Recovery and
+// TestCancelShardedPropagates pin the path.
+//
+// # Retention
+//
+// -retain N keeps the newest N terminal (done or cancelled) sweeps in
+// -data and garbage-collects older ones — sidecar, store and
+// checkpoint — counting a retirement per collected sweep. Resumable
+// state is never touched: interrupted, queued and running sweeps don't
+// count against N and their stores and checkpoints survive both the
+// steady-state prune and the boot-time prune a restart runs before
+// serving. 0 (the default) keeps everything. TestRetainGC pins both
+// sides.
 //
 // # Drain and restart
 //

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -24,15 +25,30 @@ import (
 // "interrupted" for the next process to resume.
 var errDrained = errors.New("iobfleetd: draining")
 
+// errCancelled is the same mechanism for DELETE /api/sweeps/{id}: the
+// running engine aborts at the next record boundary, but the sweep
+// parks terminally as "cancelled" instead of re-queueing on restart.
+var errCancelled = errors.New("iobfleetd: sweep cancelled")
+
+// cancel() result sentinels, mapped to HTTP codes by the DELETE handler.
+var (
+	errNoSweep  = errors.New("no such sweep")
+	errTerminal = errors.New("sweep already terminal")
+)
+
 // Sweep statuses. A sweep moves queued → running → {done, failed,
-// interrupted}; interrupted and (recovered) running/queued sweeps
-// re-enter the queue on restart. done and failed are terminal.
+// interrupted, cancelled}; interrupted and (recovered) running/queued
+// sweeps re-enter the queue on restart. done, failed and cancelled are
+// terminal — though a cancelled sweep resubmitted under its label is
+// revived, which is how a stolen shard's losing copy can be
+// re-dispatched later.
 const (
 	statusQueued      = "queued"
 	statusRunning     = "running"
 	statusDone        = "done"
 	statusFailed      = "failed"
 	statusInterrupted = "interrupted"
+	statusCancelled   = "cancelled"
 )
 
 // sweepState is everything the daemon knows about one sweep — exactly
@@ -48,10 +64,14 @@ type sweepState struct {
 	Bytes       int64     `json:"bytes"`
 	Fingerprint string    `json:"fingerprint,omitempty"`
 	Error       string    `json:"error,omitempty"`
+	// CancelRequested survives a crash between the DELETE and the
+	// runner's acknowledgement: recovery finalizes such a sweep as
+	// cancelled instead of re-queueing work nobody wants anymore.
+	CancelRequested bool `json:"cancel_requested,omitempty"`
 }
 
 func (st *sweepState) terminal() bool {
-	return st.Status == statusDone || st.Status == statusFailed
+	return st.Status == statusDone || st.Status == statusFailed || st.Status == statusCancelled
 }
 
 // progressEvent is one NDJSON line on a sweep's progress stream: the
@@ -64,11 +84,43 @@ type progressEvent struct {
 }
 
 // sweep is the in-memory half of a sweepState: the mutable state plus
-// its progress subscribers. All fields are guarded by mu.
+// its progress subscribers and the cancellation latch. All fields are
+// guarded by mu. Lock order is always manager.mu → sweep.mu; no path
+// takes them the other way round, which is what makes the runner's
+// queued→running claim and cancel()'s queued→cancelled transition
+// mutually exclusive instead of racy.
 type sweep struct {
-	mu   sync.Mutex
-	st   sweepState
-	subs map[chan progressEvent]struct{}
+	mu        sync.Mutex
+	st        sweepState
+	subs      map[chan progressEvent]struct{}
+	cancel    chan struct{} // closed when cancellation is requested
+	cancelled bool          // whether cancel has been closed (close-once latch)
+}
+
+func newSweep(st sweepState) *sweep {
+	return &sweep{st: st, cancel: make(chan struct{})}
+}
+
+// markCancelled trips the cancellation latch exactly once. Caller holds mu.
+func (sw *sweep) markCancelled() {
+	if !sw.cancelled {
+		sw.cancelled = true
+		close(sw.cancel)
+	}
+}
+
+func (sw *sweep) cancelRequested() bool {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.cancelled
+}
+
+// cancelChan returns the current cancellation latch. Revival swaps the
+// channel, so callers snapshot it once at the start of a run.
+func (sw *sweep) cancelChan() <-chan struct{} {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.cancel
 }
 
 func (sw *sweep) snapshot() sweepState {
@@ -138,13 +190,30 @@ type manager struct {
 	stats   *fleet.Stats // shared by every sweep; counters accumulate daemon-wide
 	metrics *daemonMetrics
 
+	// instance is this process's nonce, served as X-Iobfleetd-Instance on
+	// sweep-state responses. A backend SIGKILLed and restarted inside one
+	// poll interval is otherwise invisible to its coordinator — every
+	// request before and after the blink succeeds — but the blink rolls
+	// the nonce, so supervisors detect the silent restart and re-dispatch
+	// (label-idempotent, hence safe even when the recovered sweep is
+	// already running again).
+	instance string
+
 	drain chan struct{} // closed when draining; never reopened
 	wg    sync.WaitGroup
 
-	backends []string // shard dispatch targets; empty = loopback self-dispatch
-	selfBase string   // this daemon's own base URL, set by start() after listen
+	backends []string    // static -backends entries (seed the membership; kept for the configured gauge)
+	members  *membership // live fleet table shard dispatch selects from
+	selfBase string      // this daemon's own base URL, set by start() after listen
 	client   *http.Client
 	slots    int
+
+	// stealAfter is the straggler deadline: a dispatched shard whose
+	// committed progress stalls this long gets a speculative second copy
+	// on another live backend (0 disables stealing). retain bounds the
+	// terminal sweeps kept in -data (0 keeps everything).
+	stealAfter time.Duration
+	retain     int
 
 	mu       sync.Mutex
 	cond     *sync.Cond // wakes runners when pending gains work or drain begins
@@ -165,8 +234,10 @@ type manager struct {
 // shared fleet.Stats and need no fields here.
 type daemonMetrics struct {
 	submitted, started, completed, failed, interrupted, resumed *obs.Counter
+	cancelled, retired                                          *obs.Counter
 	blocksWritten, bytesWritten                                 *obs.Counter
 	shardsDispatched, shardRetries, shardFetchBytes             *obs.Counter
+	shardsStolen                                                *obs.Counter
 	sweepSeconds, phase1Seconds, allocBytes                     *obs.Histogram
 }
 
@@ -185,6 +256,7 @@ func newManager(dir string, slots int, reg *obs.Registry, backends []string) (*m
 	m := &manager{
 		dir:      dir,
 		stats:    &fleet.Stats{},
+		instance: fmt.Sprintf("%d-%016x", os.Getpid(), rand.Uint64()),
 		drain:    make(chan struct{}),
 		backends: backends,
 		client:   &http.Client{Timeout: 30 * time.Second},
@@ -193,6 +265,11 @@ func newManager(dir string, slots int, reg *obs.Registry, backends []string) (*m
 		sweeps:   make(map[string]*sweep),
 		byLabel:  make(map[string]string),
 	}
+	members, err := newMembership(filepath.Join(dir, "backends.json"), backends)
+	if err != nil {
+		return nil, err
+	}
+	m.members = members
 	m.cond = sync.NewCond(&m.mu)
 	m.registerMetrics(reg)
 	if err := m.recover(); err != nil {
@@ -239,13 +316,26 @@ func (m *manager) recover() error {
 		if n >= m.nextID {
 			m.nextID = n + 1
 		}
-		sw := &sweep{st: st}
+		sw := newSweep(st)
 		m.sweeps[st.ID] = sw
 		m.order = append(m.order, st.ID)
 		if st.Spec.Label != "" {
 			m.byLabel[st.Spec.Label] = st.ID
 		}
 		if !st.terminal() {
+			if st.CancelRequested {
+				// The process died between the DELETE and the runner's
+				// acknowledgement: finalize the cancellation instead of
+				// re-queueing work nobody wants. The checkpointed store stays
+				// for retention to collect.
+				sw.st.Status = statusCancelled
+				sw.markCancelled()
+				if err := m.persist(sw); err != nil {
+					return err
+				}
+				m.metrics.cancelled.Inc()
+				continue
+			}
 			sw.st.Status = statusQueued
 			if err := m.persist(sw); err != nil {
 				return err
@@ -279,11 +369,45 @@ func (m *manager) submit(spec sweepSpec) (sweepState, error) {
 			// (after its own restart, or a lost response) gets the existing
 			// sweep back instead of a duplicate simulation.
 			sw := m.sweeps[id]
-			m.mu.Unlock()
-			st := sw.snapshot()
-			if !reflect.DeepEqual(st.Spec, spec) {
+			sw.mu.Lock()
+			if !reflect.DeepEqual(sw.st.Spec, spec) {
+				sw.mu.Unlock()
+				m.mu.Unlock()
 				return sweepState{}, fmt.Errorf("label %q already names sweep %s with a different spec", spec.Label, id)
 			}
+			if sw.st.Status == statusCancelled {
+				// Revival: the steal protocol cancels a losing shard copy, but
+				// a coordinator re-dispatching the same label later (its winner
+				// died too) must be able to run it again — from the checkpoint
+				// the cancellation parked.
+				if m.queued >= m.queueCap {
+					sw.mu.Unlock()
+					m.mu.Unlock()
+					return sweepState{}, fmt.Errorf("sweep queue full")
+				}
+				sw.st.Status = statusQueued
+				sw.st.CancelRequested = false
+				sw.st.Error = ""
+				sw.cancelled = false
+				sw.cancel = make(chan struct{})
+				if err := m.persist(sw); err != nil {
+					sw.mu.Unlock()
+					m.mu.Unlock()
+					return sweepState{}, err
+				}
+				sw.publish(false)
+				m.queued++
+				m.pending = append(m.pending, sw)
+				m.cond.Signal()
+				st := sw.st
+				sw.mu.Unlock()
+				m.mu.Unlock()
+				m.metrics.submitted.Inc()
+				return st, nil
+			}
+			st := sw.st
+			sw.mu.Unlock()
+			m.mu.Unlock()
 			return st, nil
 		}
 	}
@@ -294,7 +418,7 @@ func (m *manager) submit(spec sweepSpec) (sweepState, error) {
 	}
 	id := fmt.Sprintf("s%06d", m.nextID)
 	m.nextID++
-	sw := &sweep{st: sweepState{ID: id, Spec: spec, Status: statusQueued}}
+	sw := newSweep(sweepState{ID: id, Spec: spec, Status: statusQueued})
 	if err := m.persist(sw); err != nil {
 		m.mu.Unlock()
 		return sweepState{}, err
@@ -410,8 +534,27 @@ func (m *manager) run(sw *sweep) {
 		m.mu.Unlock()
 		return
 	}
+	// The queued→running claim happens under both locks, mirroring
+	// cancel()'s queued→cancelled transition: exactly one of the two
+	// wins, and a sweep cancelled between enqueue and claim is simply
+	// skipped — cancel() already settled its state and gauges.
+	sw.mu.Lock()
+	if sw.st.Status != statusQueued {
+		sw.mu.Unlock()
+		m.mu.Unlock()
+		return
+	}
+	m.queued--
+	m.running++
+	sw.st.Status = statusRunning
+	sw.st.Error = ""
+	if err := m.persist(sw); err != nil {
+		fmt.Fprintf(os.Stderr, "iobfleetd: persisting %s: %v\n", sw.st.ID, err)
+	}
+	sw.publish(false)
+	cancel := sw.cancel
+	sw.mu.Unlock()
 	m.mu.Unlock()
-	m.setStatus(sw, statusRunning, "")
 	m.metrics.started.Inc()
 
 	storePath := filepath.Join(m.dir, sw.st.ID+".wtl")
@@ -466,7 +609,7 @@ func (m *manager) run(sw *sweep) {
 		sw.mu.Unlock()
 	}
 
-	sink := drainSink{inner: fleet.Tee(store, agg), drain: m.drain}
+	sink := drainSink{inner: fleet.Tee(store, agg), drain: m.drain, cancel: cancel}
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
@@ -474,10 +617,12 @@ func (m *manager) run(sw *sweep) {
 	runtime.ReadMemStats(&ms1)
 
 	switch {
+	case errors.Is(err, errCancelled):
+		store.Abort() // the checkpoint stays; retention collects it later
+		m.finish(sw, statusCancelled, "")
 	case errors.Is(err, errDrained):
 		store.Abort() // keep the checkpoint where the sweep paused
 		m.finish(sw, statusInterrupted, "")
-		m.metrics.interrupted.Inc()
 	case err != nil:
 		store.Abort()
 		m.finish(sw, statusFailed, err.Error())
@@ -537,14 +682,13 @@ func (m *manager) resumeStore(sw *sweep, path string, meta telemetry.Meta, agg *
 	return store, nil
 }
 
-// setStatus transitions a sweep and persists + publishes the change.
+// setStatus moves a running sweep to its resting state and persists +
+// publishes the change. (The queued→running claim lives inline in run(),
+// under both locks, so it can race-check against cancellation.)
 func (m *manager) setStatus(sw *sweep, status, errMsg string) {
 	m.mu.Lock()
 	switch status {
-	case statusRunning:
-		m.queued--
-		m.running++
-	case statusDone, statusFailed, statusInterrupted:
+	case statusDone, statusFailed, statusInterrupted, statusCancelled:
 		m.running--
 	}
 	m.mu.Unlock()
@@ -561,27 +705,179 @@ func (m *manager) setStatus(sw *sweep, status, errMsg string) {
 	sw.mu.Unlock()
 }
 
-// finish moves a sweep to a terminal (or interrupted) state, counting
-// the outcome.
-func (m *manager) finish(sw *sweep, status, errMsg string) {
+// finish moves a running sweep to a terminal (or interrupted) state,
+// counting the outcome, and returns the status that actually stuck: a
+// drain that lands on a sweep whose cancellation was already requested
+// parks it "cancelled", not "interrupted" — a restart must not revive
+// work the DELETE already disowned.
+func (m *manager) finish(sw *sweep, status, errMsg string) string {
+	if status == statusInterrupted && sw.cancelRequested() {
+		status = statusCancelled
+	}
 	m.setStatus(sw, status, errMsg)
 	switch status {
 	case statusDone:
 		m.metrics.completed.Inc()
 	case statusFailed:
 		m.metrics.failed.Inc()
+	case statusInterrupted:
+		m.metrics.interrupted.Inc()
+	case statusCancelled:
+		m.metrics.cancelled.Inc()
+	}
+	if status == statusDone || status == statusCancelled {
+		m.pruneRetained()
+	}
+	return status
+}
+
+// cancel implements DELETE /api/sweeps/{id}. A queued sweep unqueues on
+// the spot; a running sweep has its latch tripped and the runner
+// checkpoints-and-parks it cancelled at the next record boundary; an
+// interrupted sweep is finalized so a restart won't resurrect it. done
+// and failed are already settled (errTerminal); cancelling a cancelled
+// sweep is idempotent. Gauge accounting happens here for the states a
+// runner doesn't own (queued, interrupted) and in the runner's own
+// transition for running — never both.
+func (m *manager) cancel(id string) (sweepState, error) {
+	m.mu.Lock()
+	sw, ok := m.sweeps[id]
+	if !ok {
+		m.mu.Unlock()
+		return sweepState{}, errNoSweep
+	}
+	sw.mu.Lock()
+	prune := false
+	switch sw.st.Status {
+	case statusDone, statusFailed:
+		st := sw.st
+		sw.mu.Unlock()
+		m.mu.Unlock()
+		return st, errTerminal
+	case statusCancelled:
+		// idempotent: report the settled state again
+	case statusQueued:
+		for i, p := range m.pending {
+			if p == sw {
+				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				break
+			}
+		}
+		m.queued--
+		sw.st.Status = statusCancelled
+		sw.st.CancelRequested = true
+		sw.markCancelled()
+		if err := m.persist(sw); err != nil {
+			fmt.Fprintf(os.Stderr, "iobfleetd: persisting %s: %v\n", sw.st.ID, err)
+		}
+		sw.publish(true)
+		m.metrics.cancelled.Inc()
+		prune = true
+	case statusInterrupted:
+		sw.st.Status = statusCancelled
+		sw.st.CancelRequested = true
+		sw.markCancelled()
+		if err := m.persist(sw); err != nil {
+			fmt.Fprintf(os.Stderr, "iobfleetd: persisting %s: %v\n", sw.st.ID, err)
+		}
+		sw.publish(true)
+		m.metrics.cancelled.Inc()
+		prune = true
+	case statusRunning:
+		// Trip the latch and persist the request; the runner owns the
+		// running gauge and completes the transition at the next record
+		// boundary (or the shard supervisors cancel their sub-sweeps).
+		sw.st.CancelRequested = true
+		sw.markCancelled()
+		if err := m.persist(sw); err != nil {
+			fmt.Fprintf(os.Stderr, "iobfleetd: persisting %s: %v\n", sw.st.ID, err)
+		}
+	}
+	st := sw.st
+	sw.mu.Unlock()
+	m.mu.Unlock()
+	if prune {
+		m.pruneRetained()
+	}
+	return st, nil
+}
+
+// pruneRetained enforces -retain: beyond the newest N terminal-and-done
+// sweeps (done or cancelled — failed sweeps are kept as evidence), the
+// oldest are dropped from the registry and their store, checkpoint,
+// shard partials and sidecar unlinked. Non-terminal sweeps are never
+// touched: queued/running/interrupted state is resumable and GC must
+// not eat it.
+func (m *manager) pruneRetained() {
+	if m.retain <= 0 {
+		return
+	}
+	m.mu.Lock()
+	kept := 0
+	var victims []*sweep
+	for i := len(m.order) - 1; i >= 0; i-- {
+		sw := m.sweeps[m.order[i]]
+		sw.mu.Lock()
+		st := sw.st.Status
+		sw.mu.Unlock()
+		if st != statusDone && st != statusCancelled {
+			continue
+		}
+		if kept++; kept > m.retain {
+			victims = append(victims, sw)
+		}
+	}
+	for _, sw := range victims {
+		sw.mu.Lock()
+		id, label := sw.st.ID, sw.st.Spec.Label
+		sw.mu.Unlock()
+		delete(m.sweeps, id)
+		if label != "" && m.byLabel[label] == id {
+			delete(m.byLabel, label)
+		}
+		for i, oid := range m.order {
+			if oid == id {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
+	}
+	m.mu.Unlock()
+	for _, sw := range victims {
+		id := sw.st.ID
+		store := filepath.Join(m.dir, id+".wtl")
+		os.Remove(filepath.Join(m.dir, id+".json"))
+		os.Remove(store)
+		os.Remove(telemetry.CheckpointPath(store))
+		if partials, err := filepath.Glob(filepath.Join(m.dir, id+".shard*")); err == nil {
+			for _, p := range partials {
+				os.Remove(p)
+			}
+		}
+		m.metrics.retired.Inc()
 	}
 }
 
-// drainSink wraps a sweep's sink with the drain check: once the daemon
-// drains, the next record returns errDrained and the engine aborts with
-// every previously consumed record already a valid committed prefix.
+// drainSink wraps a sweep's sink with the drain and cancel checks: once
+// either trips, the next record returns the matching sentinel and the
+// engine aborts with every previously consumed record already a valid
+// committed prefix. Cancel is checked first — a sweep cancelled during
+// a drain parks terminally, not resumably.
 type drainSink struct {
-	inner fleet.Sink
-	drain <-chan struct{}
+	inner  fleet.Sink
+	drain  <-chan struct{}
+	cancel <-chan struct{}
 }
 
 func (d drainSink) Consume(rec telemetry.Record) error {
+	// Two separate non-blocking checks, not one select: with both
+	// channels tripped a single select would pick at random, and the
+	// cancel-first priority is what the parked status depends on.
+	select {
+	case <-d.cancel:
+		return errCancelled
+	default:
+	}
 	select {
 	case <-d.drain:
 		return errDrained
@@ -602,6 +898,9 @@ func (m *manager) registerMetrics(reg *obs.Registry) {
 		failed:      reg.NewCounter("iobfleetd_sweeps_failed_total", "Sweeps ended by an error.", nil),
 		interrupted: reg.NewCounter("iobfleetd_sweeps_interrupted_total", "Sweeps checkpointed and parked by a drain.", nil),
 		resumed:     reg.NewCounter("iobfleetd_sweeps_resumed_total", "Sweeps continued from a telemetry checkpoint.", nil),
+		cancelled:   reg.NewCounter("iobfleetd_sweeps_cancelled_total", "Sweeps cancelled by DELETE (or finalized as cancelled on recovery).", nil),
+		retired: reg.NewCounter("iobfleetd_sweeps_retired_total",
+			"Terminal sweeps garbage-collected by -retain (store, checkpoint and sidecar unlinked).", nil),
 		blocksWritten: reg.NewCounter("iobfleetd_telemetry_blocks_written_total",
 			"Telemetry blocks committed (checkpoint durable) across all sweeps.", nil),
 		bytesWritten: reg.NewCounter("iobfleetd_telemetry_bytes_written_total",
@@ -612,6 +911,8 @@ func (m *manager) registerMetrics(reg *obs.Registry) {
 			"Shard dispatch/poll/fetch attempts retried after a backend error or unhealthy probe.", nil),
 		shardFetchBytes: reg.NewCounter("iobfleetd_shard_fetch_bytes_total",
 			"Shard store bytes replicated between daemons (coordinator pulls and seed-store pulls).", nil),
+		shardsStolen: reg.NewCounter("iobfleetd_shards_stolen_total",
+			"Speculative shard copies dispatched after a straggler stalled past -steal-after.", nil),
 		sweepSeconds: reg.NewHistogram("iobfleetd_sweep_duration_seconds",
 			"Wall-clock duration of completed sweeps.", nil,
 			[]float64{0.01, 0.1, 1, 10, 60, 600, 3600}),
@@ -661,6 +962,20 @@ func (m *manager) registerMetrics(reg *obs.Registry) {
 	reg.NewGaugeFunc("iobfleetd_backends_configured",
 		"Shard backends configured via -backends (0 = loopback self-dispatch).", nil,
 		func() float64 { return float64(len(m.backends)) })
+
+	// Membership: registration/expiry counters are wired into the table
+	// (which predates this call in newManager); liveness is derived per
+	// scrape, so the gauges are funcs over one locked pass.
+	m.members.registrations = reg.NewCounter("iobfleetd_backend_registrations_total",
+		"Backends added to the membership table (first registration or revival after expiry).", nil)
+	m.members.expirations = reg.NewCounter("iobfleetd_backends_expired_total",
+		"Dynamic backends whose heartbeats fell silent past -expire.", nil)
+	reg.NewGaugeFunc("iobfleetd_backends_registered",
+		"Membership table entries (static and dynamic, live or expired).", nil,
+		func() float64 { t, _, _ := m.members.counts(); return float64(t) })
+	reg.NewGaugeFunc("iobfleetd_backends_live",
+		"Membership entries currently selectable for shard dispatch.", nil,
+		func() float64 { _, l, _ := m.members.counts(); return float64(l) })
 
 	reg.NewGaugeFunc("iobfleetd_goroutines", "Goroutines in the daemon process.", nil,
 		func() float64 { return float64(runtime.NumGoroutine()) })

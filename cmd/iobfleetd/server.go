@@ -15,16 +15,20 @@ import (
 
 // newMux wires the daemon's HTTP surface:
 //
-//	GET  /healthz                   readiness: 200 while accepting work, 503 once draining
-//	GET  /metrics                   Prometheus text exposition
-//	POST /api/sweeps                submit a sweep (sweepSpec JSON) → 202 + state
-//	GET  /api/sweeps                all sweeps, submission order
-//	GET  /api/sweeps/{id}           one sweep's state
-//	GET  /api/sweeps/{id}/progress  NDJSON stream riding the block-commit tick
-//	POST /api/loads                 shard protocol: gather a wearer range's offered loads
-//	GET  /api/sweeps/{id}/store     shard protocol: committed store bytes from an offset
-//	GET  /api/sweeps/{id}/shards/{k}/store  coordinator's partial shard copy (seed store)
-//	GET  /debug/pprof/...           Go profiling endpoints
+//	GET    /healthz                   readiness: 200 while accepting work, 503 once draining
+//	GET    /metrics                   Prometheus text exposition
+//	POST   /api/sweeps                submit a sweep (sweepSpec JSON) → 202 + state
+//	GET    /api/sweeps                all sweeps, submission order
+//	GET    /api/sweeps/{id}           one sweep's state
+//	DELETE /api/sweeps/{id}           cancel: queued unqueues, running checkpoints-and-parks
+//	GET    /api/sweeps/{id}/progress  NDJSON stream riding the block-commit tick
+//	POST   /api/backends              register (or heartbeat) a backend {"url": ...}
+//	GET    /api/backends              the membership table with per-entry liveness
+//	DELETE /api/backends?url=...      deregister a backend
+//	POST   /api/loads                 shard protocol: gather a wearer range's offered loads
+//	GET    /api/sweeps/{id}/store     shard protocol: committed store bytes from an offset
+//	GET    /api/sweeps/{id}/shards/{k}/store  coordinator's partial shard copy (seed store)
+//	GET    /debug/pprof/...           Go profiling endpoints
 func newMux(m *manager, reg *obs.Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -67,7 +71,62 @@ func newMux(m *manager, reg *obs.Registry) *http.ServeMux {
 			httpError(w, http.StatusNotFound, "no such sweep")
 			return
 		}
+		// The process nonce: a coordinator polling a shard sub-sweep reads
+		// a changed instance as "this backend died and came back", however
+		// briefly the blink lasted.
+		w.Header().Set("X-Iobfleetd-Instance", m.instance)
 		writeJSON(w, http.StatusOK, sw.snapshot())
+	})
+	mux.HandleFunc("DELETE /api/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		// Cancellation works on a draining daemon too: a DELETE racing a
+		// SIGTERM should still park the sweep terminally rather than let
+		// the next process resume work nobody wants.
+		st, err := m.cancel(r.PathValue("id"))
+		switch {
+		case errors.Is(err, errNoSweep):
+			httpError(w, http.StatusNotFound, "no such sweep")
+		case errors.Is(err, errTerminal):
+			httpError(w, http.StatusConflict, "sweep already "+st.Status)
+		case err != nil:
+			httpError(w, http.StatusInternalServerError, err.Error())
+		default:
+			writeJSON(w, http.StatusOK, st)
+		}
+	})
+	mux.HandleFunc("POST /api/backends", func(w http.ResponseWriter, r *http.Request) {
+		// Registration doubles as the heartbeat. A draining coordinator
+		// refuses: it is about to exit, and the backend's next beat will
+		// land on the restarted process (which reloads the persisted table
+		// anyway).
+		if m.isDraining() {
+			httpError(w, http.StatusServiceUnavailable, "draining; re-register with the next process")
+			return
+		}
+		var reg struct {
+			URL string `json:"url"`
+		}
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&reg); err != nil {
+			httpError(w, http.StatusBadRequest, "bad registration: "+err.Error())
+			return
+		}
+		ms, err := m.members.register(reg.URL)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, ms)
+	})
+	mux.HandleFunc("GET /api/backends", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.members.list())
+	})
+	mux.HandleFunc("DELETE /api/backends", func(w http.ResponseWriter, r *http.Request) {
+		if !m.members.deregister(r.URL.Query().Get("url")) {
+			httpError(w, http.StatusNotFound, "no such backend")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
 	mux.HandleFunc("GET /api/sweeps/{id}/progress", func(w http.ResponseWriter, r *http.Request) {
 		sw, ok := m.get(r.PathValue("id"))

@@ -23,6 +23,16 @@ package main
 // coordinator's partial copy as its seed store). Either way the shard's
 // byte stream continues exactly where replication stopped, because every
 // backend executing a shard writes the identical byte sequence.
+//
+// That same determinism licenses work-stealing: a shard whose committed
+// progress stalls past -steal-after gets a speculative second copy on
+// another live backend. Both copies write the identical byte stream, so
+// the supervisor replicates from whichever answers, the first copy to
+// reach committed-complete wins, and the loser is cancelled (DELETE) —
+// the merged store cannot tell the difference. Backends come from the
+// live membership table (static -backends entries plus dynamically
+// registered daemons), gated on a drain-aware /healthz probe at
+// selection time.
 
 import (
 	"bytes"
@@ -30,6 +40,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -96,13 +107,21 @@ func (m *manager) shardPath(id string, k int) string {
 }
 
 // backendFor is shard k's dispatch target on the given attempt: shards
-// spread round-robin over -backends and rotate on failure; with none
-// configured every shard loops back to this daemon itself.
+// spread round-robin over the live membership (sorted, so placement is
+// deterministic for a given fleet) and rotate on failure. With no
+// membership entries at all every shard loops back to this daemon
+// itself; with entries known but none currently live it returns "" and
+// the caller waits for a heartbeat — a fleet that is momentarily
+// all-dead must not silently collapse into loopback self-dispatch.
 func (m *manager) backendFor(k, attempt int) string {
-	if len(m.backends) == 0 {
+	live, any := m.members.live()
+	if len(live) == 0 {
+		if any {
+			return ""
+		}
 		return m.selfBase
 	}
-	return m.backends[(k+attempt)%len(m.backends)]
+	return live[(k+attempt)%len(live)]
 }
 
 // healthy probes a backend's readiness. A draining backend answers 503
@@ -128,16 +147,21 @@ func (m *manager) drained() bool {
 	}
 }
 
-func (m *manager) pause(d time.Duration) {
+// pause sleeps for d without outliving a drain or the sweep's
+// cancellation — a pending backoff timer must never delay either. A nil
+// cancel channel (contexts without a sweep) simply never fires.
+func (m *manager) pause(d time.Duration, cancel <-chan struct{}) {
 	select {
 	case <-m.drain:
+	case <-cancel:
 	case <-time.After(d):
 	}
 }
 
-// backoffDelay is the retry pacing after a backend error: 50ms doubling
-// to a 500ms ceiling, so a killed backend's replacement is found within a
-// poll or two without hammering a struggling one.
+// backoffDelay is the retry pacing after a backend error: exponential
+// from 50ms to a 500ms ceiling, jittered uniformly over [cap/2, cap) so
+// a fleet of supervisors losing the same backend re-probes staggered
+// instead of in lockstep.
 func backoffDelay(attempt int) time.Duration {
 	d := 50 * time.Millisecond
 	for i := 0; i < attempt && d < 500*time.Millisecond; i++ {
@@ -146,7 +170,7 @@ func backoffDelay(attempt int) time.Duration {
 	if d > 500*time.Millisecond {
 		d = 500 * time.Millisecond
 	}
-	return d
+	return d/2 + rand.N(d/2)
 }
 
 // httpStatusError is a non-2xx backend answer, kept typed so dispatch can
@@ -187,20 +211,23 @@ func (m *manager) postJSON(url string, in, out any) error {
 	return json.Unmarshal(body, out)
 }
 
-func (m *manager) getJSON(url string, out any) error {
+// getJSON fetches and decodes one API object, also reporting the
+// responding daemon's X-Iobfleetd-Instance nonce ("" when absent).
+func (m *manager) getJSON(url string, out any) (string, error) {
 	resp, err := m.client.Get(url)
 	if err != nil {
-		return err
+		return "", err
 	}
 	defer resp.Body.Close()
+	inst := resp.Header.Get("X-Iobfleetd-Instance")
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return err
+		return inst, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return &httpStatusError{resp.StatusCode, strings.TrimSpace(string(body))}
+		return inst, &httpStatusError{resp.StatusCode, strings.TrimSpace(string(body))}
 	}
-	return json.Unmarshal(body, out)
+	return inst, json.Unmarshal(body, out)
 }
 
 // runSharded executes a coordinator sweep: the loads round across the
@@ -218,6 +245,7 @@ func (m *manager) getJSON(url string, out any) error {
 func (m *manager) runSharded(sw *sweep, spec sweepSpec, storePath string) {
 	start := time.Now()
 	ranges := shardRanges(spec.Wearers, spec.Shards)
+	cancel := sw.cancelChan()
 
 	var (
 		loads []spectrum.CellLoad
@@ -225,13 +253,15 @@ func (m *manager) runSharded(sw *sweep, spec sweepSpec, storePath string) {
 	)
 	if spec.Cells > 0 {
 		var err error
-		if loads, res, err = m.gatherShards(spec, ranges); err != nil {
-			if errors.Is(err, errDrained) {
+		if loads, res, err = m.gatherShards(spec, ranges, cancel); err != nil {
+			switch {
+			case errors.Is(err, errCancelled):
+				m.finish(sw, statusCancelled, "")
+			case errors.Is(err, errDrained):
 				m.finish(sw, statusInterrupted, "")
-				m.metrics.interrupted.Inc()
-				return
+			default:
+				m.finish(sw, statusFailed, err.Error())
 			}
-			m.finish(sw, statusFailed, err.Error())
 			return
 		}
 	}
@@ -279,15 +309,23 @@ func (m *manager) runSharded(sw *sweep, spec sweepSpec, storePath string) {
 		wg.Add(1)
 		go func(k int, sub sweepSpec) {
 			defer wg.Done()
-			errs[k] = m.superviseShard(sub, k, paths[k], progress)
+			errs[k] = m.superviseShard(sub, k, paths[k], cancel, progress)
 		}(k, sub)
 	}
 	wg.Wait()
 
+	removePartials := func() {
+		for _, p := range paths {
+			os.Remove(p)
+			os.Remove(telemetry.CheckpointPath(p))
+		}
+	}
 	var failErr error
-	drained := false
+	drained, cancelled := false, false
 	for _, err := range errs {
 		switch {
+		case errors.Is(err, errCancelled):
+			cancelled = true
 		case errors.Is(err, errDrained):
 			drained = true
 		case err != nil && failErr == nil:
@@ -295,14 +333,25 @@ func (m *manager) runSharded(sw *sweep, spec sweepSpec, storePath string) {
 		}
 	}
 	if failErr != nil {
+		// Failed is terminal and never resumed: the shard partials are
+		// garbage, not recovery state.
 		m.finish(sw, statusFailed, failErr.Error())
+		removePartials()
+		return
+	}
+	if cancelled {
+		m.finish(sw, statusCancelled, "")
+		removePartials()
 		return
 	}
 	if drained {
 		// Partials stay on disk: the restarted coordinator re-dispatches by
-		// label and resumes replication exactly where it stopped.
-		m.finish(sw, statusInterrupted, "")
-		m.metrics.interrupted.Inc()
+		// label and resumes replication exactly where it stopped — unless a
+		// DELETE arrived during the drain, in which case the sweep parked
+		// cancelled and the partials are garbage after all.
+		if m.finish(sw, statusInterrupted, "") == statusCancelled {
+			removePartials()
+		}
 		return
 	}
 
@@ -334,7 +383,7 @@ func (m *manager) runSharded(sw *sweep, spec sweepSpec, storePath string) {
 // index and runs the one deterministic equilibrium solve. The merged
 // table and solution are bit-identical to an in-process phase 1 because
 // the table sums are commutative integers and Solve is a pure function.
-func (m *manager) gatherShards(spec sweepSpec, ranges [][2]int) ([]spectrum.CellLoad, *spectrum.Result, error) {
+func (m *manager) gatherShards(spec sweepSpec, ranges [][2]int, cancel <-chan struct{}) ([]spectrum.CellLoad, *spectrum.Result, error) {
 	type gather struct {
 		resp loadsResponse
 		err  error
@@ -345,7 +394,7 @@ func (m *manager) gatherShards(spec sweepSpec, ranges [][2]int) ([]spectrum.Cell
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			results[k].resp, results[k].err = m.gatherShard(k, shardSub(spec, ranges[k]))
+			results[k].resp, results[k].err = m.gatherShard(k, shardSub(spec, ranges[k]), cancel)
 		}(k)
 	}
 	wg.Wait()
@@ -402,14 +451,18 @@ func (m *manager) gatherShards(spec sweepSpec, ranges [][2]int) ([]spectrum.Cell
 // gatherShard asks one backend for a shard's partial loads, rotating
 // backends until one answers; a 400 is a deterministic spec rejection and
 // fails the sweep, everything else retries.
-func (m *manager) gatherShard(k int, sub sweepSpec) (loadsResponse, error) {
+func (m *manager) gatherShard(k int, sub sweepSpec, cancel <-chan struct{}) (loadsResponse, error) {
 	var out loadsResponse
 	for attempt := 0; ; attempt++ {
+		select {
+		case <-cancel:
+			return out, errCancelled
+		default:
+		}
 		if m.drained() {
 			return out, errDrained
 		}
-		b := m.backendFor(k, attempt)
-		if m.healthy(b) {
+		if b := m.backendFor(k, attempt); b != "" && m.healthy(b) {
 			err := m.postJSON(b+"/api/loads", sub, &out)
 			if err == nil {
 				return out, nil
@@ -419,32 +472,73 @@ func (m *manager) gatherShard(k int, sub sweepSpec) (loadsResponse, error) {
 			}
 		}
 		m.metrics.shardRetries.Inc()
-		m.pause(backoffDelay(attempt))
+		m.pause(backoffDelay(attempt), cancel)
 	}
 }
 
+// shardHost is one backend currently executing a shard's sub-sweep.
+// Normally there is exactly one; a straggler gets a speculative second
+// copy, and the first to reach committed-complete wins. instance pins
+// the daemon process the sub-sweep was observed on, so a SIGKILL +
+// restart that fits inside one poll interval — every request before and
+// after it succeeding — is still detected as a loss.
+type shardHost struct {
+	base     string
+	id       string
+	instance string
+}
+
 // superviseShard owns one shard from dispatch to full replication. It
-// submits the sub-sweep (idempotently, by label), polls its state, and
-// appends each newly committed byte range of its store to the local
-// partial copy. A backend lost or drained mid-shard is re-dispatched: a
-// restarted backend finds the label in its recovered state and resumes
-// from its own checkpoint; a replacement backend pulls the partial copy
-// as its seed store. Both write the identical byte stream, so the partial
-// only ever extends.
-func (m *manager) superviseShard(sub sweepSpec, k int, path string, progress func(k, records int)) error {
+// submits the sub-sweep (idempotently, by label) to a live backend,
+// polls its state, and appends each newly committed byte range of its
+// store to the local partial copy. A backend lost or drained mid-shard
+// is re-dispatched: a restarted backend finds the label in its
+// recovered state and resumes from its own checkpoint; a replacement
+// backend pulls the partial copy as its seed store. Both write the
+// identical byte stream, so the partial only ever extends.
+//
+// Straggler stealing rides the same invariant: when the shard's
+// committed progress stalls past stealAfter with a single host, a
+// second copy of the identical sub-sweep is dispatched to another live
+// backend and the supervisor replicates from whichever copy is ahead.
+// The first host whose store is done AND fully replicated to the range
+// end wins; every other copy is cancelled. The host list is sticky —
+// membership expiry only gates NEW dispatch, so a heartbeat hiccup
+// never drops a host that is still answering.
+func (m *manager) superviseShard(sub sweepSpec, k int, path string, cancel <-chan struct{}, progress func(k, records int)) error {
 	local := prepPartial(path)
-	var base, remoteID string
+	end := sub.EndWearer
+	if end == 0 {
+		end = sub.Wearers
+	}
+	var hosts []shardHost
+	drop := func(i int) {
+		hosts = append(hosts[:i], hosts[i+1:]...)
+		m.metrics.shardRetries.Inc()
+	}
 	attempt := 0
+	records := 0
+	lastAdvance := time.Now()
 	for {
+		select {
+		case <-cancel:
+			// The parent sweep was cancelled: disown every copy so no
+			// backend keeps simulating for a coordinator that left.
+			for _, h := range hosts {
+				m.cancelRemote(h.base, h.id)
+			}
+			return errCancelled
+		default:
+		}
 		if m.drained() {
 			return errDrained
 		}
-		if base == "" {
+		if len(hosts) == 0 {
 			b := m.backendFor(k, attempt)
 			attempt++
-			if !m.healthy(b) {
+			if b == "" || !m.healthy(b) {
 				m.metrics.shardRetries.Inc()
-				m.pause(backoffDelay(attempt))
+				m.pause(backoffDelay(attempt), cancel)
 				continue
 			}
 			var st sweepState
@@ -453,43 +547,141 @@ func (m *manager) superviseShard(sub sweepSpec, k int, path string, progress fun
 					return fmt.Errorf("shard %d rejected by %s: %w", k, b, err)
 				}
 				m.metrics.shardRetries.Inc()
-				m.pause(backoffDelay(attempt))
+				m.pause(backoffDelay(attempt), cancel)
 				continue
 			}
-			base, remoteID = b, st.ID
+			hosts = append(hosts, shardHost{base: b, id: st.ID})
 			m.metrics.shardsDispatched.Inc()
+			lastAdvance = time.Now()
 		}
-		var st sweepState
-		if err := m.getJSON(base+"/api/sweeps/"+remoteID, &st); err != nil {
-			base = ""
-			m.metrics.shardRetries.Inc()
-			m.pause(backoffDelay(attempt))
-			continue
+		if m.stealAfter > 0 && len(hosts) == 1 && time.Since(lastAdvance) > m.stealAfter {
+			if b := m.stealTarget(k, hosts); b != "" {
+				var st sweepState
+				if err := m.postJSON(b+"/api/sweeps", sub, &st); err == nil {
+					hosts = append(hosts, shardHost{base: b, id: st.ID})
+					m.metrics.shardsDispatched.Inc()
+					m.metrics.shardsStolen.Inc()
+				}
+			}
+			// Re-arm the deadline whether or not a target existed: one
+			// speculative copy per stall, not one per poll tick.
+			lastAdvance = time.Now()
 		}
-		if st.Status == statusFailed {
-			return fmt.Errorf("shard %d failed on %s: %s", k, base, st.Error)
+		advanced := false
+		for i := 0; i < len(hosts); i++ {
+			h := hosts[i]
+			var st sweepState
+			inst, err := m.getJSON(h.base+"/api/sweeps/"+h.id, &st)
+			if err != nil {
+				drop(i)
+				i--
+				continue
+			}
+			if h.instance == "" {
+				hosts[i].instance = inst
+			} else if inst != h.instance {
+				// Same address, different process: the backend died and came
+				// back inside a poll interval. Re-dispatch by label — the
+				// recovered sweep answers the resubmission idempotently, so
+				// this costs one POST, never a duplicate simulation.
+				drop(i)
+				i--
+				continue
+			}
+			if st.Status == statusFailed {
+				// Deterministic execution: a failure on one host would fail
+				// identically everywhere, so give up rather than re-dispatch.
+				for _, o := range hosts {
+					if o != h {
+						m.cancelRemote(o.base, o.id)
+					}
+				}
+				return fmt.Errorf("shard %d failed on %s: %s", k, h.base, st.Error)
+			}
+			n, next, err := m.fetchShard(h.base, h.id, path, local)
+			if err != nil {
+				drop(i)
+				i--
+				continue
+			}
+			if n > 0 {
+				local += n
+				advanced = true
+			}
+			if st.Records > records {
+				records = st.Records
+				progress(k, records)
+				advanced = true
+			}
+			switch st.Status {
+			case statusDone:
+				if next >= end {
+					// Committed-complete and fully replicated: this copy wins.
+					// Cancel the rest best-effort — a missed DELETE only wastes
+					// backend cycles, never correctness.
+					for _, o := range hosts {
+						if o != h {
+							m.cancelRemote(o.base, o.id)
+						}
+					}
+					return nil
+				}
+				// A done status whose replicated store stops short of the
+				// range end means the backend lost or pruned the store between
+				// commit and fetch (retention, disk loss): drop the host and
+				// re-dispatch rather than merge an incomplete partial.
+				drop(i)
+				i--
+			case statusInterrupted, statusCancelled:
+				// The backend parked the copy (its own drain, or an operator
+				// DELETE): drop it — same label on a restart resumes it,
+				// another backend seed-pulls the partial.
+				drop(i)
+				i--
+			}
 		}
-		n, err := m.fetchShard(base, remoteID, path, local)
-		if err != nil {
-			base = ""
-			m.metrics.shardRetries.Inc()
-			m.pause(backoffDelay(attempt))
-			continue
+		if advanced {
+			lastAdvance = time.Now()
 		}
-		local += n
-		progress(k, st.Records)
-		switch st.Status {
-		case statusDone:
-			// The fetch above ran after the done status was read, and the
-			// store only grows, so the partial now holds every committed byte.
-			return nil
-		case statusInterrupted:
-			// The backend parked the shard for its own drain: re-dispatch —
-			// same label on a restart resumes it, another backend seed-pulls.
-			base = ""
-		}
-		m.pause(shardPollInterval)
+		m.pause(shardPollInterval, cancel)
 	}
+}
+
+// stealTarget picks a live, healthy backend not already hosting this
+// shard for the speculative copy; "" when the fleet has no spare.
+func (m *manager) stealTarget(k int, hosts []shardHost) string {
+	live, _ := m.members.live()
+	for i := range live {
+		b := live[(k+i)%len(live)]
+		taken := false
+		for _, h := range hosts {
+			if h.base == b {
+				taken = true
+				break
+			}
+		}
+		if !taken && m.healthy(b) {
+			return b
+		}
+	}
+	return ""
+}
+
+// cancelRemote disowns one sub-sweep copy, best-effort: the losing side
+// of a steal, or every copy of a cancelled parent. Failures are ignored
+// — an unreachable backend's copy dies with it, and a live one's costs
+// only cycles.
+func (m *manager) cancelRemote(base, id string) {
+	req, err := http.NewRequest(http.MethodDelete, base+"/api/sweeps/"+id, nil)
+	if err != nil {
+		return
+	}
+	resp, err := m.client.Do(req)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
 }
 
 // prepPartial validates the local partial copy of a shard store,
@@ -524,26 +716,37 @@ func prepPartial(path string) int64 {
 // can never diverge, even across a backend swap mid-shard. A failed copy
 // truncates back to local so the partial never carries a torn tail into
 // the next attempt.
-func (m *manager) fetchShard(base, remoteID, path string, local int64) (int64, error) {
+//
+// Alongside the byte count it reports the store's committed next-wearer
+// (X-Next-Wearer; -1 when the backend has no committed store yet) — the
+// supervisor's completeness witness: a "done" status only wins once the
+// replicated store provably reaches the shard's range end, so a backend
+// that pruned the store between commit and fetch cannot pass off a
+// short partial as complete.
+func (m *manager) fetchShard(base, remoteID, path string, local int64) (int64, int, error) {
 	resp, err := m.client.Get(fmt.Sprintf("%s/api/sweeps/%s/store?from=%d", base, remoteID, local))
 	if err != nil {
-		return 0, err
+		return 0, -1, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusNotFound {
-		return 0, nil // no committed store yet (sweep still queued); poll again
+		return 0, -1, nil // no committed store yet (sweep still queued); poll again
 	}
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(resp.Body)
-		return 0, &httpStatusError{resp.StatusCode, strings.TrimSpace(string(body))}
+		return 0, -1, &httpStatusError{resp.StatusCode, strings.TrimSpace(string(body))}
+	}
+	next := -1
+	if v, err := strconv.Atoi(resp.Header.Get("X-Next-Wearer")); err == nil {
+		next = v
 	}
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
 	if err != nil {
-		return 0, err
+		return 0, next, err
 	}
 	if _, err := f.Seek(local, 0); err != nil {
 		f.Close()
-		return 0, err
+		return 0, next, err
 	}
 	n, err := io.Copy(f, resp.Body)
 	cerr := f.Close()
@@ -552,10 +755,10 @@ func (m *manager) fetchShard(base, remoteID, path string, local int64) (int64, e
 	}
 	if err != nil {
 		os.Truncate(path, local)
-		return 0, err
+		return 0, next, err
 	}
 	m.metrics.shardFetchBytes.Add(float64(n))
-	return n, nil
+	return n, next, nil
 }
 
 // fetchSeedStore pulls the coordinator's partial copy of a shard store

@@ -47,15 +47,22 @@
 //     GatherLoads/Presolved pair splits the two phases across
 //     processes — cmd/iobfleetd, the long-running fleet daemon,
 //     builds on exactly that to shard one sweep across remote
-//     backends ("shards" in the sweep spec, -backends on the
-//     coordinator): shards gather loads, the coordinator merges and
-//     solves the equilibrium once, shards simulate their windows and
-//     replicate committed telemetry blocks back, and because seeds
-//     derive from absolute wearer indices the merged store — per-node
-//     time series included: record+series frame pairs are re-paired
-//     and re-encoded at the merged block boundaries — is byte-identical
-//     to a single-process run, even after a backend is SIGKILLed and
-//     resumed mid-sweep;
+//     backends ("shards" in the sweep spec; a static -backends list,
+//     or backends that register and heartbeat themselves over
+//     POST /api/backends with TTL expiry): shards gather loads, the
+//     coordinator merges and solves the equilibrium once, shards
+//     simulate their windows and replicate committed telemetry blocks
+//     back, and because seeds derive from absolute wearer indices the
+//     merged store — per-node time series included: record+series
+//     frame pairs are re-paired and re-encoded at the merged block
+//     boundaries — is byte-identical to a single-process run, even
+//     after a backend is SIGKILLed and resumed mid-sweep, replaced,
+//     or never comes back at all (straggler shards are speculatively
+//     re-dispatched to live members past -steal-after;
+//     first-committed copy wins, the loser is cancelled). Sweeps
+//     cancel end-to-end (DELETE /api/sweeps/{id}, sub-sweeps and
+//     partials included) and -retain bounds the terminal-store
+//     backlog without ever touching resumable state;
 //   - internal/spectrum — cross-wearer co-channel interference: wearers
 //     hash into spatial cells, each cell sums its members' offered RF
 //     airtime in exact integer PPM, and a CSMA/ALOHA collision curve

@@ -1,0 +1,126 @@
+// Package chaoskit is the seeded fault-injection toolkit behind the
+// daemon's sustained chaos tests. It deliberately contains no fault
+// machinery of its own — killing processes, draining daemons and
+// cancelling sweeps belong to the harness that owns them — only the
+// reproducibility substrate: a seeded schedule source (which event,
+// when), a journal that records every decision so a failure's exact
+// chaos sequence can be replayed from its seed, and a settle probe for
+// the quiescence assertions (gauges at zero, goroutines back to
+// baseline) that conclude a run.
+//
+// Determinism contract: for a fixed seed, the sequence of Intn /
+// Between / Pick results is fixed. The wall-clock moments those picks
+// get APPLIED still float with scheduling, so a chaos run is
+// reproducible in distribution, not cycle-exact — which is what the
+// byte-identity assertions need: the same seed re-explores the same
+// decision sequence while the system under test must produce identical
+// stores under any interleaving.
+package chaoskit
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// Action is one weighted entry in a chaos schedule: a named fault with
+// a relative likelihood. Weights are relative integers, not
+// probabilities; {kill:3, restart:1} makes kills three times as likely.
+type Action struct {
+	Name   string
+	Weight int
+}
+
+// Chaos is a seeded schedule source plus its decision journal. Not safe
+// for concurrent use: a chaos schedule is a single timeline, and
+// driving it from one goroutine is what keeps a seed replayable.
+type Chaos struct {
+	seed    int64
+	rng     *rand.Rand
+	journal []string
+}
+
+// New returns a schedule source for the given seed. Same seed, same
+// decision sequence.
+func New(seed int64) *Chaos {
+	return &Chaos{seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Seed returns the seed this schedule was built from — stamp it into
+// test logs so a failure names its replay.
+func (c *Chaos) Seed() int64 { return c.seed }
+
+// Intn draws from [0, n) and journals the result.
+func (c *Chaos) Intn(n int) int {
+	v := c.rng.Intn(n)
+	c.Log("intn(%d)=%d", n, v)
+	return v
+}
+
+// Between draws a duration uniformly from [lo, hi) — the spacing
+// between injected faults. lo==hi returns lo.
+func (c *Chaos) Between(lo, hi time.Duration) time.Duration {
+	d := lo
+	if hi > lo {
+		d = lo + time.Duration(c.rng.Int63n(int64(hi-lo)))
+	}
+	c.Log("between(%v,%v)=%v", lo, hi, d)
+	return d
+}
+
+// Pick draws one action by weight. Zero- and negative-weight actions
+// are never picked; an empty or all-unpickable schedule panics — that
+// is a harness bug, not a chaos outcome.
+func (c *Chaos) Pick(actions []Action) Action {
+	total := 0
+	for _, a := range actions {
+		if a.Weight > 0 {
+			total += a.Weight
+		}
+	}
+	if total == 0 {
+		panic("chaoskit: no pickable action")
+	}
+	v := c.rng.Intn(total)
+	for _, a := range actions {
+		if a.Weight <= 0 {
+			continue
+		}
+		if v -= a.Weight; v < 0 {
+			c.Log("pick=%s", a.Name)
+			return a
+		}
+	}
+	panic("unreachable")
+}
+
+// Log appends a formatted line to the journal; harnesses also use it
+// to record what each pick was applied to (which process was killed,
+// which sweep cancelled).
+func (c *Chaos) Log(format string, args ...any) {
+	c.journal = append(c.journal, fmt.Sprintf(format, args...))
+}
+
+// Journal renders the full decision history, one line per entry — the
+// reproduction script a failing run prints next to its seed.
+func (c *Chaos) Journal() string {
+	return strings.Join(c.journal, "\n")
+}
+
+// Settle polls cond every poll until it holds or timeout elapses,
+// reporting whether it settled. The quiescence assertions (queue
+// gauges at zero, goroutine counts back to baseline) are eventually
+// true after chaos stops, never instantly.
+func Settle(timeout, poll time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(poll)
+	}
+}

@@ -1,0 +1,95 @@
+package chaoskit
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+var schedule = []Action{
+	{Name: "kill", Weight: 3},
+	{Name: "restart", Weight: 2},
+	{Name: "cancel", Weight: 1},
+	{Name: "never", Weight: 0},
+}
+
+// Same seed, same decision sequence — the property every chaos replay
+// rests on.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() ([]string, string) {
+		c := New(42)
+		var got []string
+		for i := 0; i < 200; i++ {
+			got = append(got, c.Pick(schedule).Name)
+			got = append(got, c.Between(10*time.Millisecond, 50*time.Millisecond).String())
+			got = append(got, string(rune('0'+c.Intn(10))))
+		}
+		return got, c.Journal()
+	}
+	a, ja := run()
+	b, jb := run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged across replays: %q vs %q", i, a[i], b[i])
+		}
+	}
+	if ja != jb {
+		t.Fatalf("journals diverged:\n%s\n--\n%s", ja, jb)
+	}
+	if c := New(43); c.Pick(schedule).Name == a[0] && c.Pick(schedule).Name == a[3] && c.Pick(schedule).Name == a[6] {
+		t.Log("seed 43 happens to open like seed 42; fine, but suspicious if every seed does")
+	}
+}
+
+func TestPickWeights(t *testing.T) {
+	c := New(7)
+	counts := map[string]int{}
+	const draws = 6000
+	for i := 0; i < draws; i++ {
+		counts[c.Pick(schedule).Name]++
+	}
+	if counts["never"] != 0 {
+		t.Fatalf("zero-weight action picked %d times", counts["never"])
+	}
+	if counts["kill"]+counts["restart"]+counts["cancel"] != draws {
+		t.Fatalf("draws leaked: %v", counts)
+	}
+	// kill:restart:cancel = 3:2:1; allow generous slack, this is a seeded
+	// RNG so the counts are fixed for seed 7 anyway.
+	if counts["kill"] <= counts["restart"] || counts["restart"] <= counts["cancel"] {
+		t.Fatalf("weights not respected: %v", counts)
+	}
+}
+
+func TestBetweenBounds(t *testing.T) {
+	c := New(1)
+	lo, hi := 5*time.Millisecond, 20*time.Millisecond
+	for i := 0; i < 1000; i++ {
+		if d := c.Between(lo, hi); d < lo || d >= hi {
+			t.Fatalf("draw %d: %v outside [%v, %v)", i, d, lo, hi)
+		}
+	}
+	if d := c.Between(lo, lo); d != lo {
+		t.Fatalf("degenerate range: got %v, want %v", d, lo)
+	}
+}
+
+func TestJournalRecordsHarnessNotes(t *testing.T) {
+	c := New(3)
+	c.Pick(schedule)
+	c.Log("applied to pid %d", 1234)
+	j := c.Journal()
+	if !strings.Contains(j, "pick=") || !strings.Contains(j, "applied to pid 1234") {
+		t.Fatalf("journal missing entries:\n%s", j)
+	}
+}
+
+func TestSettle(t *testing.T) {
+	n := 0
+	if !Settle(time.Second, time.Millisecond, func() bool { n++; return n >= 3 }) {
+		t.Fatal("condition that becomes true did not settle")
+	}
+	if Settle(10*time.Millisecond, time.Millisecond, func() bool { return false }) {
+		t.Fatal("false condition settled")
+	}
+}
